@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure benchmark needs the same expensive ingredients — the AMG
+hierarchy of the reduced-scale rotated anisotropic diffusion problem and its
+per-level communication profiles — so they are built once per session here.
+Set ``REPRO_PAPER_SCALE=1`` to run the benchmarks at the paper's full problem
+size (524 288 rows on 2048 simulated ranks); expect several minutes of setup.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.config import ExperimentConfig, ExperimentContext  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """The configuration every benchmark runs with."""
+    return ExperimentConfig.from_environment()
+
+
+@pytest.fixture(scope="session")
+def experiment_context(experiment_config) -> ExperimentContext:
+    """Shared hierarchy + mapping + model context (built once per session)."""
+    return ExperimentContext.build(experiment_config)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure table and persist it under ``benchmarks/results/``.
+
+    pytest captures stdout by default, so the tables are also written to disk
+    where EXPERIMENTS.md points at them; run ``pytest benchmarks -s`` to see
+    them inline.
+    """
+    print(f"\n{text}\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")

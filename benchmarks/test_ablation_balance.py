@@ -1,0 +1,24 @@
+"""Ablation benchmark: load-balancing strategy of the aggregation setup."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.ablation import run_balance_ablation
+
+
+def test_ablation_load_balancing(benchmark, experiment_context):
+    """Round-robin vs byte-balanced leader assignment.
+
+    Byte-balanced assignment may not always change the per-process maximum
+    (patterns are fairly uniform on a stencil problem) but it must never make
+    the worst-loaded process worse.
+    """
+    result = benchmark.pedantic(run_balance_ablation, args=(experiment_context,),
+                                iterations=1, rounds=1)
+    emit("ablation_balance", result.to_table())
+
+    by_name = dict(zip(result.strategies, result.max_global_bytes))
+    assert by_name["bytes"] <= by_name["round_robin"]
+    times = dict(zip(result.strategies, result.total_times))
+    assert times["bytes"] <= times["round_robin"] * 1.05

@@ -1,0 +1,26 @@
+"""Ablation benchmark: model-driven dynamic variant selection vs oracle."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.ablation import run_selection_ablation
+
+
+def test_ablation_dynamic_selection(benchmark, experiment_context):
+    """The selection the paper proposes as future work.
+
+    The model-driven choice amortises setup costs over an expected iteration
+    count, so it may legitimately keep the standard collective on levels whose
+    aggregation setup would never pay off; it must still clearly beat the
+    always-standard default and stay close to the per-iteration oracle.
+    """
+    result = benchmark.pedantic(run_selection_ablation, args=(experiment_context,),
+                                iterations=1, rounds=1)
+    emit("ablation_selection", result.to_table())
+
+    assert result.policy_times["model_selection"] <= result.policy_times["always_standard"]
+    assert result.policy_times["oracle"] <= result.policy_times["model_selection"] + 1e-12
+    # The oracle is within reach: selection costs at most 2x the oracle time.
+    assert result.policy_times["model_selection"] <= 2.0 * result.policy_times["oracle"]
+    assert result.agreement >= 0.6

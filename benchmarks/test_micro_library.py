@@ -1,0 +1,87 @@
+"""Wall-clock microbenchmarks of the library itself.
+
+Unlike the figure benchmarks (whose communication times are *modeled*), these
+measure the real Python cost of the hot library paths: planning each collective
+variant, validating plans, building communication packages, and executing a
+functional exchange on the simulated runtime.  They exist so that regressions
+in the reproduction's own code show up in ``pytest benchmarks --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import Variant, make_plan, neighbor_alltoallv_init
+from repro.pattern import random_pattern
+from repro.pattern.builders import neighbor_lists
+from repro.perfmodel import lassen_parameters
+from repro.simmpi import dist_graph_create_adjacent, run_spmd
+from repro.sparse import pattern_from_parcsr, strong_scaling_problem
+from repro.topology import paper_mapping
+
+
+@pytest.fixture(scope="module")
+def micro_pattern():
+    """A mid-sized irregular pattern shared by the planner microbenchmarks."""
+    return random_pattern(256, avg_neighbors=12, avg_items_per_message=24,
+                          duplicate_fraction=0.4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def micro_mapping():
+    """Placement for the microbenchmark pattern (16 ranks per node)."""
+    return paper_mapping(256, ranks_per_node=16)
+
+
+@pytest.mark.parametrize("variant", [Variant.STANDARD, Variant.PARTIAL, Variant.FULL])
+def test_micro_plan_construction(benchmark, micro_pattern, micro_mapping, variant):
+    """Time the planner for each collective variant."""
+    plan = benchmark(make_plan, micro_pattern, micro_mapping, variant)
+    assert plan.n_messages > 0
+
+
+def test_micro_plan_cost_evaluation(benchmark, micro_pattern, micro_mapping):
+    """Time the locality-aware cost evaluation of a partial plan."""
+    plan = make_plan(micro_pattern, micro_mapping, Variant.PARTIAL)
+    model = lassen_parameters()
+    time = benchmark(plan.modeled_time, model)
+    assert time > 0.0
+
+
+def test_micro_comm_pkg_construction(benchmark):
+    """Time the ParCSR communication-package extraction of a 65k-row matrix."""
+    problem = strong_scaling_problem(65536, 256)
+    pattern = benchmark(pattern_from_parcsr, problem.matrix)
+    assert pattern.n_messages > 0
+
+
+def test_micro_functional_exchange(benchmark):
+    """Time one functional locality-aware exchange on 16 simulated ranks."""
+    n_ranks = 16
+    mapping = paper_mapping(n_ranks, ranks_per_node=4)
+    pattern = random_pattern(n_ranks, avg_neighbors=6, seed=5)
+
+    def one_exchange():
+        def program(comm):
+            rank = comm.rank
+            send_items = {d: pattern.send_items(rank, d).tolist()
+                          for d in pattern.send_ranks(rank)}
+            recv_items = {s: pattern.recv_items(rank, s).tolist()
+                          for s in pattern.recv_ranks(rank)}
+            sources, dests = neighbor_lists(pattern, rank)
+            graph = dist_graph_create_adjacent(comm, sources, dests, validate=False)
+            collective = neighbor_alltoallv_init(graph, send_items, recv_items, mapping,
+                                                 variant=Variant.FULL)
+            owned = {int(i) for items in send_items.values() for i in items}
+            values = {i: float(i) for i in owned}
+            return collective.exchange(values)
+        return run_spmd(n_ranks, program, timeout=120)
+
+    results = benchmark.pedantic(one_exchange, iterations=1, rounds=3)
+    assert len(results) == n_ranks
+    received = [r for r in results if r]
+    assert received, "at least one rank should receive halo data"
+    for per_rank in received:
+        for item, value in per_rank.items():
+            assert value == float(item)

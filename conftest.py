@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so the test-suite and benchmarks run even when
+the package has not been pip-installed (handy on air-gapped machines).  When
+``repro`` is already installed the installed copy wins because editable
+installs place it earlier on the path.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,87 @@
+"""Quickstart: plan, analyse, and execute a locality-aware neighborhood collective.
+
+Run with ``python examples/quickstart.py``.
+
+The script builds a random irregular communication pattern on 32 simulated
+ranks (4 nodes x 8 ranks), plans the three collective variants the paper
+compares, prints their message statistics and modeled Start+Wait times, and
+finally executes the fully optimized variant on the simulated MPI runtime to
+show that it delivers exactly the same values as plain point-to-point.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.collectives import Variant, all_plans, neighbor_alltoallv_init
+from repro.pattern import random_pattern, pattern_statistics
+from repro.pattern.builders import neighbor_lists
+from repro.perfmodel import lassen_parameters
+from repro.simmpi import dist_graph_create_adjacent, run_spmd
+from repro.topology import paper_mapping
+from repro.utils import format_table
+
+
+def main() -> int:
+    n_ranks = 32
+    mapping = paper_mapping(n_ranks, ranks_per_node=8)
+    pattern = random_pattern(n_ranks, avg_neighbors=8, avg_items_per_message=16,
+                             duplicate_fraction=0.5, seed=7)
+    model = lassen_parameters(active_per_node=8)
+
+    print(f"Machine: {mapping.describe()}")
+    print(f"Pattern: {pattern.n_messages} point-to-point messages, "
+          f"{pattern.total_items} values ({pattern.total_bytes} bytes)\n")
+
+    # 1. Plan every variant and compare them.
+    plans = all_plans(pattern, mapping)
+    rows = []
+    for variant in (Variant.STANDARD, Variant.PARTIAL, Variant.FULL):
+        plan = plans[variant]
+        plan.validate()
+        stats = plan.statistics()
+        rows.append((variant.value,
+                     plan.n_messages,
+                     stats.max_local_messages,
+                     stats.max_global_messages,
+                     stats.max_global_bytes,
+                     f"{plan.modeled_time(model) * 1e6:.2f}"))
+    print(format_table(
+        ["variant", "total msgs", "max local msgs", "max global msgs",
+         "max global bytes", "modeled time (us)"],
+        rows, title="Collective variants on one irregular pattern"))
+
+    # 2. Execute the fully optimized variant on the simulated runtime and
+    #    verify it against the pattern.
+    def program(comm):
+        rank = comm.rank
+        send_items = {d: pattern.send_items(rank, d).tolist()
+                      for d in pattern.send_ranks(rank)}
+        recv_items = {s: pattern.recv_items(rank, s).tolist()
+                      for s in pattern.recv_ranks(rank)}
+        sources, dests = neighbor_lists(pattern, rank)
+        graph = dist_graph_create_adjacent(comm, sources, dests)
+        collective = neighbor_alltoallv_init(graph, send_items, recv_items, mapping,
+                                             variant=Variant.FULL)
+        owned = {int(i) for items in send_items.values() for i in items}
+        values = {item: 100.0 * rank + item for item in owned}
+        received = collective.exchange(values)
+        for src, items in recv_items.items():
+            for item in items:
+                expected = 100.0 * src + item
+                assert received[int(item)] == expected
+        return len(received)
+
+    received_counts = run_spmd(n_ranks, program, timeout=120)
+    print("\nFunctional execution on the simulated runtime: every rank received "
+          "its halo values correctly.")
+    print(f"Values received per rank: min={min(received_counts)}, "
+          f"max={max(received_counts)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

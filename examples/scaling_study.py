@@ -1,0 +1,54 @@
+"""Mini scaling study: regenerate the paper's Figures 12-13 at a chosen scale.
+
+Run with ``python examples/scaling_study.py [n_rows]`` (default 16 384 rows).
+Pass the paper's 524 288 rows for the full-size study (slow in pure Python).
+
+Prints the strong- and weak-scaling communication-time series and the headline
+speedups of the locality-aware collectives over standard Hypre communication,
+mirroring Section 4.2 of the paper.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    run_strong_scaling,
+    run_weak_scaling,
+)
+
+
+def main() -> int:
+    n_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 16384
+    config = ExperimentConfig(n_rows=n_rows, n_ranks=128,
+                              scaling_ranks=(16, 32, 64, 128),
+                              weak_rows_per_rank=128)
+    print(f"Scaling study of the rotated anisotropic diffusion SpMV "
+          f"({n_rows} rows, up to {max(config.scaling_ranks)} simulated ranks)\n")
+
+    context = ExperimentContext.build(config)
+    strong = run_strong_scaling(context)
+    print(strong.to_table())
+    print("\nStrong-scaling speedup over standard Hypre at the largest scale:")
+    print(f"  partially optimized: "
+          f"{strong.speedup_at_largest_scale('partially_optimized_neighbor'):.2f}x")
+    print(f"  fully optimized:     "
+          f"{strong.speedup_at_largest_scale('fully_optimized_neighbor'):.2f}x\n")
+
+    weak = run_weak_scaling(config)
+    print(weak.to_table())
+    print("\nWeak-scaling speedup over standard Hypre at the largest scale:")
+    print(f"  partially optimized: "
+          f"{weak.speedup_at_largest_scale('partially_optimized_neighbor'):.2f}x")
+    print(f"  fully optimized:     "
+          f"{weak.speedup_at_largest_scale('fully_optimized_neighbor'):.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

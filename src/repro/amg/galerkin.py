@@ -1,0 +1,67 @@
+"""Galerkin coarse-grid operators.
+
+The coarse operator is the triple product ``A_c = R A P`` with ``R = P^T``;
+small entries can optionally be truncated, which is what keeps coarse operators
+from filling in completely (hypre's ``truncation factor``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.errors import ValidationError
+
+
+def galerkin_product(A: sp.spmatrix, P: sp.spmatrix, *,
+                     truncation: float = 0.0) -> sp.csr_matrix:
+    """Compute ``P^T A P`` and optionally drop relatively small entries.
+
+    Parameters
+    ----------
+    truncation:
+        Entries smaller (in magnitude) than ``truncation`` times the largest
+        off-diagonal magnitude of their row are dropped and lumped onto the
+        diagonal, preserving row sums.  0 disables truncation.
+    """
+    A = sp.csr_matrix(A)
+    P = sp.csr_matrix(P)
+    if A.shape[0] != A.shape[1]:
+        raise ValidationError("A must be square")
+    if P.shape[0] != A.shape[0]:
+        raise ValidationError("P row count must match A")
+    coarse = (P.T @ A @ P).tocsr()
+    coarse.sum_duplicates()
+    coarse.eliminate_zeros()
+    if truncation <= 0.0:
+        return coarse
+    return _truncate(coarse, truncation)
+
+
+def _truncate(matrix: sp.csr_matrix, truncation: float) -> sp.csr_matrix:
+    n = matrix.shape[0]
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    keep = np.ones_like(data, dtype=bool)
+    diag_addition = np.zeros(n, dtype=np.float64)
+    for i in range(n):
+        start, end = indptr[i], indptr[i + 1]
+        if start == end:
+            continue
+        row_cols = indices[start:end]
+        row_vals = data[start:end]
+        off = row_cols != i
+        if not off.any():
+            continue
+        threshold = truncation * np.abs(row_vals[off]).max()
+        drop = off & (np.abs(row_vals) < threshold)
+        if not drop.any():
+            continue
+        keep[start:end][drop] = False
+        diag_addition[i] = row_vals[drop].sum()
+    rows = np.repeat(np.arange(n), np.diff(indptr))
+    truncated = sp.csr_matrix((data[keep], (rows[keep], indices[keep])),
+                              shape=matrix.shape)
+    truncated = truncated + sp.diags(diag_addition)
+    truncated = sp.csr_matrix(truncated)
+    truncated.eliminate_zeros()
+    return truncated

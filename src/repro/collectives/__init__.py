@@ -1,0 +1,81 @@
+"""Persistent neighborhood collectives with locality-aware aggregation.
+
+This package is the reproduction of the paper's core contribution:
+
+* :mod:`repro.collectives.planner` — pure planners turning a communication
+  pattern plus rank mapping into explicit message schedules for the standard
+  (Section 3.1), partially optimized (Section 3.2, three-step aggregation) and
+  fully optimized (Section 3.3, duplicate removal) variants;
+* :mod:`repro.collectives.persistent` — a per-rank persistent handle that
+  executes any plan on the simulated MPI runtime (init / start / wait);
+* :mod:`repro.collectives.api` — the MPI-Advance-style entry points
+  applications call;
+* :mod:`repro.collectives.selection` — model-driven dynamic selection of the
+  cheapest variant (the paper's future-work extension).
+"""
+
+from repro.collectives.plan import (
+    Variant,
+    Phase,
+    Slot,
+    PlannedMessage,
+    CollectivePlan,
+    AGGREGATED_PHASES,
+)
+from repro.collectives.aggregation import (
+    BalanceStrategy,
+    AggregationAssignment,
+    setup_aggregation,
+    collect_region_traffic,
+)
+from repro.collectives.dedup import (
+    unique_payload_keys,
+    duplicate_item_count,
+    dedup_savings_fraction,
+    group_slots_by_final_dest,
+)
+from repro.collectives.planner import (
+    plan_standard,
+    plan_partial,
+    plan_full,
+    make_plan,
+    all_plans,
+)
+from repro.collectives.persistent import PersistentNeighborCollective
+from repro.collectives.api import (
+    neighbor_alltoallv_init,
+    neighbor_alltoallv,
+    pack_alltoallv_buffers,
+    unpack_alltoallv_buffers,
+)
+from repro.collectives.selection import SelectionResult, select_variant, best_per_pattern
+
+__all__ = [
+    "Variant",
+    "Phase",
+    "Slot",
+    "PlannedMessage",
+    "CollectivePlan",
+    "AGGREGATED_PHASES",
+    "BalanceStrategy",
+    "AggregationAssignment",
+    "setup_aggregation",
+    "collect_region_traffic",
+    "unique_payload_keys",
+    "duplicate_item_count",
+    "dedup_savings_fraction",
+    "group_slots_by_final_dest",
+    "plan_standard",
+    "plan_partial",
+    "plan_full",
+    "make_plan",
+    "all_plans",
+    "PersistentNeighborCollective",
+    "neighbor_alltoallv_init",
+    "neighbor_alltoallv",
+    "pack_alltoallv_buffers",
+    "unpack_alltoallv_buffers",
+    "SelectionResult",
+    "select_variant",
+    "best_per_pattern",
+]

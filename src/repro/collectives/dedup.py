@@ -1,0 +1,48 @@
+"""Duplicate-value removal (Section 3.3 of the paper).
+
+The persistent neighborhood API only describes *how much* data goes to each
+neighbor; it does not say *which values*, so an implementation cannot tell that
+two destinations are being sent the same value.  The paper's proposed extension
+passes per-value indices, which lets the aggregated inter-region message carry
+each ``(origin, item)`` value once no matter how many final destinations need
+it.  The helpers here perform that deduplication on slot lists and quantify how
+much payload it saves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.collectives.plan import Slot
+
+
+def unique_payload_keys(slots: Sequence[Slot]) -> List[Tuple[int, int]]:
+    """Unique ``(origin, item)`` pairs of ``slots`` in first-appearance order.
+
+    The order is deterministic so that the sending and receiving sides of a
+    deduplicated message pack and unpack values identically.
+    """
+    seen: Dict[Tuple[int, int], None] = {}
+    for slot in slots:
+        seen.setdefault((slot.origin, slot.item), None)
+    return list(seen.keys())
+
+
+def duplicate_item_count(slots: Sequence[Slot]) -> int:
+    """Number of payload values saved by deduplicating ``slots``."""
+    return len(slots) - len(unique_payload_keys(slots))
+
+
+def group_slots_by_final_dest(slots: Iterable[Slot]) -> Dict[int, List[Slot]]:
+    """Partition slots by their final destination rank (deterministic order)."""
+    groups: Dict[int, List[Slot]] = {}
+    for slot in slots:
+        groups.setdefault(slot.final_dest, []).append(slot)
+    return {dest: groups[dest] for dest in sorted(groups)}
+
+
+def dedup_savings_fraction(slots: Sequence[Slot]) -> float:
+    """Fraction of the payload removed by deduplication (0 when nothing saved)."""
+    if not slots:
+        return 0.0
+    return duplicate_item_count(slots) / len(slots)

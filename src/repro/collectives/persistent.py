@@ -1,0 +1,207 @@
+"""Functional execution of collective plans on the simulated MPI runtime.
+
+A :class:`PersistentNeighborCollective` is one rank's handle on a persistent
+neighborhood collective: it is created once (``init``), then every iteration
+packs its send buffers, starts communication, and unpacks received values —
+the Start/Wait cycle the paper times.  The handle executes whatever
+:class:`~repro.collectives.plan.CollectivePlan` it is given, so the same class
+runs the standard, partially optimized and fully optimized variants; the
+difference is entirely in the plan.
+
+Values are float64 scalars keyed by item id (for a SpMV halo exchange, the
+vector entries keyed by global row index).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.collectives.plan import (
+    CollectivePlan,
+    Phase,
+    PlannedMessage,
+    Variant,
+)
+from repro.simmpi.comm import SimComm
+from repro.simmpi.request import PersistentRecvRequest, PersistentSendRequest
+from repro.utils.errors import CommunicationError, PlanError
+
+#: Tag offsets per phase so concurrent phases never match each other's traffic.
+_PHASE_TAGS = {
+    Phase.DIRECT: 10,
+    Phase.LOCAL: 11,
+    Phase.SETUP_REDIST: 12,
+    Phase.GLOBAL: 13,
+    Phase.FINAL_REDIST: 14,
+}
+
+
+class _PhaseEndpoint:
+    """One rank's sends and receives for one phase of a plan."""
+
+    def __init__(self, comm: SimComm, plan: CollectivePlan, phase: Phase, rank: int):
+        tag = _PHASE_TAGS[phase]
+        self.phase = phase
+        self.send_messages: List[PlannedMessage] = plan.messages_from(rank, phase)
+        self.recv_messages: List[PlannedMessage] = plan.messages_to(rank, phase)
+        self.send_buffers: List[np.ndarray] = [
+            np.empty(m.payload_count(), dtype=np.float64) for m in self.send_messages
+        ]
+        self.recv_buffers: List[np.ndarray] = [
+            np.empty(m.payload_count(), dtype=np.float64) for m in self.recv_messages
+        ]
+        self.send_requests: List[PersistentSendRequest] = [
+            comm.send_init(buf, dest=m.dest, tag=tag)
+            for m, buf in zip(self.send_messages, self.send_buffers)
+        ]
+        self.recv_requests: List[PersistentRecvRequest] = [
+            comm.recv_init(buf, source=m.src, tag=tag)
+            for m, buf in zip(self.recv_messages, self.recv_buffers)
+        ]
+
+    # -- per-iteration operations ---------------------------------------------
+
+    def pack(self, known_values: Dict[Tuple[int, int], float]) -> None:
+        """Fill send buffers from the values this rank currently holds."""
+        for message, buffer in zip(self.send_messages, self.send_buffers):
+            for position, key in enumerate(message.payload_keys):
+                try:
+                    buffer[position] = known_values[key]
+                except KeyError:
+                    raise PlanError(
+                        f"rank holds no value for origin {key[0]}, item {key[1]} needed "
+                        f"by a phase-{message.phase.value} message"
+                    ) from None
+
+    def start(self) -> None:
+        """Start all persistent requests of the phase (MPI_Startall)."""
+        for request in self.recv_requests:
+            request.start()
+        for request in self.send_requests:
+            request.start()
+
+    def wait(self, known_values: Dict[Tuple[int, int], float]) -> None:
+        """Complete the phase and merge received values into ``known_values``."""
+        for request in self.recv_requests:
+            request.wait()
+        for request in self.send_requests:
+            request.wait()
+        for message, buffer in zip(self.recv_messages, self.recv_buffers):
+            for position, key in enumerate(message.payload_keys):
+                known_values[key] = float(buffer[position])
+
+    @property
+    def n_messages(self) -> int:
+        """Messages this rank sends in the phase."""
+        return len(self.send_messages)
+
+
+class PersistentNeighborCollective:
+    """One rank's persistent handle for a planned neighborhood collective."""
+
+    def __init__(self, comm: SimComm, plan: CollectivePlan, *,
+                 duplicate_comm: bool = True):
+        self.comm = comm.dup() if duplicate_comm else comm
+        self.plan = plan
+        self.rank = comm.rank
+        self.variant = plan.variant
+        if plan.pattern.n_ranks > comm.size:
+            raise CommunicationError(
+                "plan was built for more ranks than the communicator provides"
+            )
+        if self.variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
+            self._phases = [_PhaseEndpoint(self.comm, plan, Phase.DIRECT, self.rank)]
+        else:
+            self._phases = [
+                _PhaseEndpoint(self.comm, plan, phase, self.rank)
+                for phase in (Phase.LOCAL, Phase.SETUP_REDIST, Phase.GLOBAL,
+                              Phase.FINAL_REDIST)
+            ]
+        self._phase_by_name = {endpoint.phase: endpoint for endpoint in self._phases}
+        # Items this rank must hand back to the caller after every exchange.
+        recv_map = plan.pattern.recv_map(self.rank)
+        self._expected_items: Dict[int, int] = {}
+        for src, items in recv_map.items():
+            for item in items.tolist():
+                self._expected_items[int(item)] = int(src)
+        self._known_values: Dict[Tuple[int, int], float] = {}
+        self._started = False
+
+    # -- persistent life-cycle ----------------------------------------------------
+
+    def start(self, values: Mapping[int, float]) -> None:
+        """Begin one iteration of communication (MPI_Start).
+
+        ``values`` maps the item ids this rank *owns* to their current values.
+        Following Algorithm 5, the fully local phase and the initial
+        redistribution are started immediately; the redistribution is completed
+        inside ``start`` so the inter-region phase can begin.
+        """
+        if self._started:
+            raise CommunicationError("collective started twice without wait")
+        self._known_values = {(self.rank, int(item)): float(value)
+                              for item, value in values.items()}
+        if self.variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
+            direct = self._phase_by_name[Phase.DIRECT]
+            direct.pack(self._known_values)
+            direct.start()
+        else:
+            local = self._phase_by_name[Phase.LOCAL]
+            setup = self._phase_by_name[Phase.SETUP_REDIST]
+            global_phase = self._phase_by_name[Phase.GLOBAL]
+            local.pack(self._known_values)
+            local.start()
+            setup.pack(self._known_values)
+            setup.start()
+            setup.wait(self._known_values)
+            global_phase.pack(self._known_values)
+            global_phase.start()
+        self._started = True
+
+    def wait(self) -> Dict[int, float]:
+        """Complete the iteration (MPI_Wait) and return received values.
+
+        Returns a mapping from item id to value covering every item this rank
+        receives in the pattern (plus items it sends to itself).
+        """
+        if not self._started:
+            raise CommunicationError("wait called before start")
+        if self.variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
+            self._phase_by_name[Phase.DIRECT].wait(self._known_values)
+        else:
+            local = self._phase_by_name[Phase.LOCAL]
+            global_phase = self._phase_by_name[Phase.GLOBAL]
+            final = self._phase_by_name[Phase.FINAL_REDIST]
+            local.wait(self._known_values)
+            global_phase.wait(self._known_values)
+            final.pack(self._known_values)
+            final.start()
+            final.wait(self._known_values)
+        self._started = False
+        result: Dict[int, float] = {}
+        for item, src in self._expected_items.items():
+            key = (src, item)
+            if key not in self._known_values:
+                raise CommunicationError(
+                    f"rank {self.rank} did not receive item {item} from rank {src}"
+                )
+            result[item] = self._known_values[key]
+        return result
+
+    def exchange(self, values: Mapping[int, float]) -> Dict[int, float]:
+        """Convenience start-then-wait for a single iteration."""
+        self.start(values)
+        return self.wait()
+
+    # -- introspection ---------------------------------------------------------------
+
+    def messages_per_iteration(self) -> int:
+        """Number of messages this rank sends every iteration."""
+        return sum(endpoint.n_messages for endpoint in self._phases)
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        return (f"rank {self.rank}: {self.variant.value} collective, "
+                f"{self.messages_per_iteration()} messages/iteration")

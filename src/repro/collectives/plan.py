@@ -1,0 +1,308 @@
+"""Collective plans: the explicit message schedules of each variant.
+
+A :class:`CollectivePlan` is the planner's output and the common input of
+
+* the statistics used by Figures 8-10 (message counts / sizes per process),
+* the performance models that time an iteration (Figures 7, 11-13), and
+* the functional executor in :mod:`repro.collectives.persistent` that moves
+  real data over the simulated MPI runtime.
+
+Plans are explicit: every message of every phase lists the *slots*
+``(origin, item, final_dest)`` it carries, so a plan can be validated against
+the original pattern (every required delivery happens exactly once) without
+executing anything.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+from repro.pattern.comm_pattern import CommPattern
+from repro.pattern.statistics import PatternStatistics
+from repro.perfmodel.base import CostModel, MessageCost
+from repro.topology.mapping import RankMapping
+from repro.utils.errors import PlanError
+
+
+class Variant(str, enum.Enum):
+    """The communication protocols compared throughout the paper."""
+
+    #: Persistent point-to-point as in stock Hypre (reference protocol).
+    POINT_TO_POINT = "point_to_point"
+    #: Standard neighborhood collective: wraps point-to-point (Section 3.1).
+    STANDARD = "standard"
+    #: Locality-aware three-step aggregation (Section 3.2).
+    PARTIAL = "partial"
+    #: Aggregation plus duplicate removal via the index extension (Section 3.3).
+    FULL = "full"
+
+
+class Phase(str, enum.Enum):
+    """Communication phases of Algorithm 4.
+
+    ``DIRECT`` is the single phase of the unaggregated variants; the four
+    aggregated phases follow the paper's naming: ``l`` fully local, ``s``
+    initial intra-region redistribution, ``g`` inter-region, ``r`` final
+    intra-region redistribution.
+    """
+
+    DIRECT = "direct"
+    LOCAL = "l"
+    SETUP_REDIST = "s"
+    GLOBAL = "g"
+    FINAL_REDIST = "r"
+
+
+#: Phase execution structure: ``s`` must finish before ``g`` starts, ``g``
+#: before ``r``; ``l`` overlaps the ``s``+``g`` window (Algorithms 5 and 6).
+AGGREGATED_PHASES: Tuple[Phase, ...] = (
+    Phase.LOCAL, Phase.SETUP_REDIST, Phase.GLOBAL, Phase.FINAL_REDIST,
+)
+
+
+class Slot(NamedTuple):
+    """One routed data item: value ``item`` owned by ``origin`` bound for ``final_dest``."""
+
+    origin: int
+    item: int
+    final_dest: int
+
+
+@dataclass
+class PlannedMessage:
+    """One message of a plan.
+
+    ``slots`` describe the routing work the message performs; ``payload_keys``
+    are the ``(origin, item)`` values physically packed into the buffer, in
+    packing order.  For deduplicated messages ``len(payload_keys)`` is smaller
+    than ``len(slots)``.
+    """
+
+    phase: Phase
+    src: int
+    dest: int
+    slots: List[Slot]
+    payload_keys: List[Tuple[int, int]] = field(default=None)
+
+    def __post_init__(self):
+        if self.src == self.dest:
+            raise PlanError(f"message with identical endpoints (rank {self.src})")
+        if not self.slots:
+            raise PlanError(f"empty message {self.src}->{self.dest} in phase {self.phase}")
+        if self.payload_keys is None:
+            self.payload_keys = [(slot.origin, slot.item) for slot in self.slots]
+        if not self.payload_keys:
+            raise PlanError("message carries no payload")
+
+    def payload_count(self) -> int:
+        """Number of values physically transferred."""
+        return len(self.payload_keys)
+
+    def nbytes(self, item_bytes: int) -> int:
+        """Payload size in bytes."""
+        return self.payload_count() * item_bytes
+
+
+@dataclass
+class CollectivePlan:
+    """Complete message schedule of one collective variant on one pattern."""
+
+    variant: Variant
+    pattern: CommPattern
+    mapping: RankMapping
+    phases: Dict[Phase, List[PlannedMessage]]
+    #: Deliveries satisfied without any message (origin already at destination,
+    #: or an aggregator that is itself the final destination).
+    self_deliveries: List[Slot] = field(default_factory=list)
+
+    # -- iteration ------------------------------------------------------------
+
+    def messages(self, phase: Phase | None = None) -> Iterator[PlannedMessage]:
+        """Iterate over all messages, optionally restricted to one phase."""
+        if phase is not None:
+            yield from self.phases.get(phase, [])
+            return
+        for messages in self.phases.values():
+            yield from messages
+
+    def messages_from(self, rank: int, phase: Phase | None = None) -> List[PlannedMessage]:
+        """Messages sent by ``rank``."""
+        return [m for m in self.messages(phase) if m.src == rank]
+
+    def messages_to(self, rank: int, phase: Phase | None = None) -> List[PlannedMessage]:
+        """Messages received by ``rank``."""
+        return [m for m in self.messages(phase) if m.dest == rank]
+
+    @property
+    def item_bytes(self) -> int:
+        """Bytes per data item (taken from the pattern)."""
+        return self.pattern.item_bytes
+
+    @property
+    def n_messages(self) -> int:
+        """Total message count across all phases."""
+        return sum(len(msgs) for msgs in self.phases.values())
+
+    # -- statistics (Figures 8-10) -----------------------------------------------
+
+    def statistics(self) -> PatternStatistics:
+        """Per-rank local / inter-region message and byte counts (sender side)."""
+        stats = PatternStatistics(n_ranks=self.pattern.n_ranks)
+        for message in self.messages():
+            is_local = self.mapping.same_region(message.src, message.dest)
+            stats.add_message(message.src, is_local, message.nbytes(self.item_bytes))
+        return stats
+
+    def max_global_message_bytes(self) -> int:
+        """Largest single inter-region message (Figure 10 uses the per-process max)."""
+        sizes = [m.nbytes(self.item_bytes) for m in self.messages()
+                 if not self.mapping.same_region(m.src, m.dest)]
+        return max(sizes, default=0)
+
+    def global_payload_items(self) -> int:
+        """Total number of values crossing region boundaries."""
+        return sum(m.payload_count() for m in self.messages()
+                   if not self.mapping.same_region(m.src, m.dest))
+
+    # -- modeled time (Figures 7, 11-13) --------------------------------------------
+
+    def _phase_time(self, model: CostModel, phase: Phase) -> float:
+        per_process: Dict[int, List[MessageCost]] = {}
+        for message in self.phases.get(phase, []):
+            cost = MessageCost(nbytes=message.nbytes(self.item_bytes),
+                               locality=self.mapping.locality(message.src, message.dest))
+            per_process.setdefault(message.src, []).append(cost)
+        return model.phase_time(per_process)
+
+    def modeled_time(self, model: CostModel) -> float:
+        """Modeled Start+Wait time of one iteration of this plan.
+
+        Unaggregated variants have a single phase.  Aggregated variants follow
+        Algorithms 5-6: the initial redistribution ``s`` completes before the
+        inter-region phase ``g`` starts, while the fully-local phase ``l``
+        overlaps both; the final redistribution ``r`` runs after ``g``.
+        """
+        if self.variant in (Variant.POINT_TO_POINT, Variant.STANDARD):
+            return self._phase_time(model, Phase.DIRECT)
+        t_l = self._phase_time(model, Phase.LOCAL)
+        t_s = self._phase_time(model, Phase.SETUP_REDIST)
+        t_g = self._phase_time(model, Phase.GLOBAL)
+        t_r = self._phase_time(model, Phase.FINAL_REDIST)
+        return max(t_l, t_s + t_g) + t_r
+
+    def setup_costs(self) -> Tuple[int, int]:
+        """(message count, byte volume) proxies for per-process initialisation work.
+
+        Aggregated variants must discover and load-balance the aggregated
+        pattern during ``*_init``; the work each process performs grows with
+        the number of messages it participates in and with the routing
+        metadata it must exchange (three integers per slot).  Initialisation
+        happens in parallel, so the proxies are the *maximum over processes*,
+        not totals.
+        """
+        messages_per_rank: Dict[int, int] = {}
+        slot_bytes_per_rank: Dict[int, int] = {}
+        for message in self.messages():
+            for endpoint in (message.src, message.dest):
+                messages_per_rank[endpoint] = messages_per_rank.get(endpoint, 0) + 1
+                slot_bytes_per_rank[endpoint] = (slot_bytes_per_rank.get(endpoint, 0)
+                                                 + len(message.slots) * 3 * 8)
+        max_messages = max(messages_per_rank.values(), default=0)
+        max_slot_bytes = max(slot_bytes_per_rank.values(), default=0)
+        return max_messages, max_slot_bytes
+
+    # -- validation -------------------------------------------------------------------
+
+    def required_deliveries(self) -> Dict[Tuple[int, int, int], int]:
+        """Multiset of ``(origin, item, final_dest)`` required by the pattern."""
+        required: Dict[Tuple[int, int, int], int] = {}
+        for src, dest, items in self.pattern.edges():
+            for item in items.tolist():
+                key = (src, int(item), dest)
+                required[key] = required.get(key, 0) + 1
+        return required
+
+    def planned_deliveries(self) -> Dict[Tuple[int, int, int], int]:
+        """Multiset of deliveries the plan performs (terminal phases only)."""
+        terminal = {
+            Variant.POINT_TO_POINT: (Phase.DIRECT,),
+            Variant.STANDARD: (Phase.DIRECT,),
+            Variant.PARTIAL: (Phase.LOCAL, Phase.FINAL_REDIST),
+            Variant.FULL: (Phase.LOCAL, Phase.FINAL_REDIST),
+        }[self.variant]
+        delivered: Dict[Tuple[int, int, int], int] = {}
+        for phase in terminal:
+            for message in self.phases.get(phase, []):
+                for slot in message.slots:
+                    if slot.final_dest != message.dest:
+                        raise PlanError(
+                            f"terminal message {message.src}->{message.dest} carries a slot "
+                            f"bound for rank {slot.final_dest}"
+                        )
+                    key = (slot.origin, slot.item, slot.final_dest)
+                    delivered[key] = delivered.get(key, 0) + 1
+        for slot in self.self_deliveries:
+            key = (slot.origin, slot.item, slot.final_dest)
+            delivered[key] = delivered.get(key, 0) + 1
+        return delivered
+
+    def validate(self) -> None:
+        """Check the plan delivers exactly what the pattern requires.
+
+        Raises :class:`PlanError` on missing, duplicated, or spurious
+        deliveries, on messages whose endpoints are out of range, and on
+        inter-region messages appearing in intra-region phases (and vice
+        versa).
+        """
+        n = self.pattern.n_ranks
+        for message in self.messages():
+            if not (0 <= message.src < n and 0 <= message.dest < n):
+                raise PlanError(
+                    f"message endpoints ({message.src}, {message.dest}) out of range"
+                )
+            same_region = self.mapping.same_region(message.src, message.dest)
+            if message.phase is Phase.GLOBAL and same_region:
+                raise PlanError(
+                    f"inter-region phase message {message.src}->{message.dest} stays "
+                    "inside a region"
+                )
+            if message.phase in (Phase.LOCAL, Phase.SETUP_REDIST, Phase.FINAL_REDIST) \
+                    and not same_region:
+                raise PlanError(
+                    f"intra-region phase {message.phase.value} message "
+                    f"{message.src}->{message.dest} crosses regions"
+                )
+        required = self.required_deliveries()
+        # The pattern may list the same (origin, item, dest) more than once
+        # (duplicate entries in a send list); a single delivery satisfies them.
+        required_set = set(required)
+        delivered = self.planned_deliveries()
+        delivered_set = set(delivered)
+        missing = required_set - delivered_set
+        if missing:
+            example = sorted(missing)[:3]
+            raise PlanError(f"plan misses {len(missing)} deliveries, e.g. {example}")
+        spurious = delivered_set - required_set
+        if spurious:
+            example = sorted(spurious)[:3]
+            raise PlanError(f"plan performs {len(spurious)} spurious deliveries, e.g. {example}")
+        duplicated = [key for key, count in delivered.items() if count > 1]
+        if duplicated:
+            raise PlanError(
+                f"plan delivers {len(duplicated)} items more than once, "
+                f"e.g. {sorted(duplicated)[:3]}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary used by examples and reports."""
+        phase_counts = ", ".join(
+            f"{phase.value}:{len(msgs)}" for phase, msgs in sorted(
+                self.phases.items(), key=lambda kv: kv[0].value)
+            if msgs
+        )
+        return (f"{self.variant.value} plan: {self.n_messages} messages "
+                f"({phase_counts or 'none'})")

@@ -1,0 +1,90 @@
+"""Dynamic variant selection (the paper's future-work extension).
+
+The paper observes that locality-aware collectives can *lose* on patterns with
+little communication (the fine AMG levels) and win on dense ones (the middle
+levels), and that a "simple performance measure is needed within the
+neighborhood collective to dynamically select the optimal communication
+strategy".  :func:`select_variant` implements exactly that: build every
+variant's plan, time it with a cost model, optionally amortise the setup cost
+over an expected iteration count, and pick the cheapest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.collectives.aggregation import BalanceStrategy
+from repro.collectives.plan import CollectivePlan, Variant
+from repro.collectives.planner import all_plans
+from repro.pattern.comm_pattern import CommPattern
+from repro.perfmodel.base import CostModel
+from repro.perfmodel.params import SetupCostModel
+from repro.topology.mapping import RankMapping
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a dynamic selection."""
+
+    variant: Variant
+    plan: CollectivePlan
+    per_iteration: Mapping[Variant, float]
+    setup: Mapping[Variant, float]
+    expected_iterations: int
+
+    def total_cost(self, variant: Variant) -> float:
+        """Setup plus iteration cost over the expected horizon."""
+        return self.setup[variant] + self.expected_iterations * self.per_iteration[variant]
+
+
+def select_variant(pattern: CommPattern, mapping: RankMapping, model: CostModel, *,
+                   expected_iterations: int = 1000,
+                   include_setup: bool = True,
+                   setup_model: SetupCostModel | None = None,
+                   strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                   candidates: tuple[Variant, ...] = (
+                       Variant.STANDARD, Variant.PARTIAL, Variant.FULL),
+                   ) -> SelectionResult:
+    """Pick the cheapest collective variant for a pattern under a cost model.
+
+    Parameters
+    ----------
+    expected_iterations:
+        How many Start/Wait iterations the setup cost will be amortised over
+        (the solve phase of AMG typically runs hundreds to thousands).
+    include_setup:
+        When False only the per-iteration cost matters (the asymptotic
+        choice); when True short-lived patterns fall back to cheaper setups.
+    """
+    if expected_iterations < 1:
+        raise ValidationError("expected_iterations must be >= 1")
+    setup_model = setup_model or SetupCostModel()
+    plans = all_plans(pattern, mapping, strategy=strategy)
+
+    per_iteration: Dict[Variant, float] = {}
+    setup: Dict[Variant, float] = {}
+    for variant in candidates:
+        plan = plans[variant]
+        per_iteration[variant] = plan.modeled_time(model)
+        if include_setup and variant in (Variant.PARTIAL, Variant.FULL):
+            n_messages, slot_bytes = plan.setup_costs()
+            setup[variant] = setup_model.cost(n_messages, slot_bytes)
+        else:
+            setup[variant] = 0.0
+
+    def total(variant: Variant) -> float:
+        return setup[variant] + expected_iterations * per_iteration[variant]
+
+    best = min(candidates, key=lambda v: (total(v), v.value))
+    return SelectionResult(variant=best, plan=plans[best],
+                           per_iteration=per_iteration, setup=setup,
+                           expected_iterations=expected_iterations)
+
+
+def best_per_pattern(patterns: Mapping[object, CommPattern], mapping: RankMapping,
+                     model: CostModel, **kwargs) -> Dict[object, SelectionResult]:
+    """Run :func:`select_variant` over a family of patterns (e.g. AMG levels)."""
+    return {key: select_variant(pattern, mapping, model, **kwargs)
+            for key, pattern in patterns.items()}

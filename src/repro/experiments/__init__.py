@@ -1,0 +1,40 @@
+"""The experiment harness: one module per figure of the paper's evaluation.
+
+Every experiment is a plain function from an :class:`ExperimentConfig` (or a
+prebuilt :class:`ExperimentContext`) to a result object that knows how to
+render itself as the table/series the corresponding figure plots.  The
+``benchmarks/`` directory wraps these functions in pytest-benchmark targets;
+:mod:`repro.experiments.runner` runs everything and prints a full report.
+"""
+
+from repro.experiments.config import ExperimentConfig, ExperimentContext
+from repro.experiments.graph_creation import GraphCreationResult, run_graph_creation
+from repro.experiments.crossover import CrossoverResult, run_crossover
+from repro.experiments.per_level import PerLevelResult, run_per_level
+from repro.experiments.scaling import ScalingResult, run_strong_scaling, run_weak_scaling
+from repro.experiments.ablation import (
+    SelectionAblationResult,
+    BalanceAblationResult,
+    run_selection_ablation,
+    run_balance_ablation,
+)
+from repro.experiments.runner import run_all_experiments
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "GraphCreationResult",
+    "run_graph_creation",
+    "CrossoverResult",
+    "run_crossover",
+    "PerLevelResult",
+    "run_per_level",
+    "ScalingResult",
+    "run_strong_scaling",
+    "run_weak_scaling",
+    "SelectionAblationResult",
+    "BalanceAblationResult",
+    "run_selection_ablation",
+    "run_balance_ablation",
+    "run_all_experiments",
+]

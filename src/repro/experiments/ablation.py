@@ -1,0 +1,132 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+Two ablations beyond the paper's figures:
+
+* **Dynamic selection** (the paper's future-work item): how close does the
+  model-driven selection of :mod:`repro.collectives.selection` come to the
+  oracle (per-level minimum over all variants), and how much does it improve
+  over always using one fixed variant?
+* **Load balancing**: round-robin vs byte-balanced assignment of destination
+  regions to the processes of a region (the "load balancing" the paper's
+  aggregation setup performs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.collectives.aggregation import BalanceStrategy
+from repro.collectives.plan import Variant
+from repro.collectives.planner import plan_partial
+from repro.collectives.selection import select_variant
+from repro.experiments.config import ExperimentConfig, ExperimentContext
+from repro.utils.formatting import format_table
+
+
+@dataclass
+class SelectionAblationResult:
+    """Per-level variant choices and aggregate times of each policy."""
+
+    levels: List[int]
+    model_choice: List[str]
+    oracle_choice: List[str]
+    policy_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of levels where the model picks the oracle's variant."""
+        if not self.levels:
+            return 1.0
+        matches = sum(1 for a, b in zip(self.model_choice, self.oracle_choice) if a == b)
+        return matches / len(self.levels)
+
+    def to_table(self) -> str:
+        """Render choices per level plus aggregate policy times."""
+        rows = [(level, model, oracle)
+                for level, model, oracle in zip(self.levels, self.model_choice,
+                                                self.oracle_choice)]
+        table = format_table(["level", "model choice", "oracle choice"], rows,
+                             title="Ablation: dynamic variant selection")
+        lines = [table, "", "total modeled time per policy (seconds):"]
+        for policy, time in sorted(self.policy_times.items()):
+            lines.append(f"  {policy:>22s}: {time:.6e}")
+        lines.append(f"  model/oracle agreement: {self.agreement:.0%}")
+        return "\n".join(lines)
+
+
+def run_selection_ablation(context: ExperimentContext | None = None, *,
+                           config: ExperimentConfig | None = None,
+                           expected_iterations: int = 1000) -> SelectionAblationResult:
+    """Compare model-driven selection with the oracle and fixed policies."""
+    if context is None:
+        context = ExperimentContext.build(config or ExperimentConfig.from_environment())
+    profiles = context.profiles
+    candidates = (Variant.STANDARD, Variant.PARTIAL, Variant.FULL)
+
+    model_choice: List[str] = []
+    oracle_choice: List[str] = []
+    policy_times: Dict[str, float] = {
+        "always_standard": 0.0,
+        "always_partial": 0.0,
+        "always_full": 0.0,
+        "model_selection": 0.0,
+        "oracle": 0.0,
+    }
+    for profile in profiles:
+        selection = select_variant(profile.pattern, context.mapping, context.model,
+                                   expected_iterations=expected_iterations,
+                                   setup_model=context.setup_model,
+                                   strategy=context.config.strategy,
+                                   candidates=candidates)
+        oracle = profile.best_variant(candidates=candidates)
+        model_choice.append(selection.variant.value)
+        oracle_choice.append(oracle.value)
+        policy_times["always_standard"] += profile.times[Variant.STANDARD]
+        policy_times["always_partial"] += profile.times[Variant.PARTIAL]
+        policy_times["always_full"] += profile.times[Variant.FULL]
+        policy_times["model_selection"] += profile.times[selection.variant]
+        policy_times["oracle"] += profile.times[oracle]
+    return SelectionAblationResult(levels=[p.level for p in profiles],
+                                   model_choice=model_choice,
+                                   oracle_choice=oracle_choice,
+                                   policy_times=policy_times)
+
+
+@dataclass
+class BalanceAblationResult:
+    """Aggregate inter-region imbalance and modeled time per balance strategy."""
+
+    strategies: List[str]
+    max_global_bytes: List[int]
+    total_times: List[float]
+
+    def to_table(self) -> str:
+        """Render one row per strategy."""
+        rows = [(s, b, f"{t:.6e}") for s, b, t in
+                zip(self.strategies, self.max_global_bytes, self.total_times)]
+        return format_table(["strategy", "max inter-region bytes/process",
+                             "total modeled time (s)"], rows,
+                            title="Ablation: aggregation load balancing")
+
+
+def run_balance_ablation(context: ExperimentContext | None = None, *,
+                         config: ExperimentConfig | None = None) -> BalanceAblationResult:
+    """Compare the two leader-assignment strategies on every AMG level."""
+    if context is None:
+        context = ExperimentContext.build(config or ExperimentConfig.from_environment())
+    strategies = [BalanceStrategy.ROUND_ROBIN, BalanceStrategy.BYTES]
+    max_bytes: List[int] = []
+    times: List[float] = []
+    for strategy in strategies:
+        worst = 0
+        total = 0.0
+        for profile in context.profiles:
+            plan = plan_partial(profile.pattern, context.mapping, strategy=strategy)
+            stats = plan.statistics()
+            worst = max(worst, stats.max_global_bytes)
+            total += plan.modeled_time(context.model)
+        max_bytes.append(worst)
+        times.append(total)
+    return BalanceAblationResult(strategies=[s.value for s in strategies],
+                                 max_global_bytes=max_bytes, total_times=times)

@@ -1,0 +1,100 @@
+"""Figures 8-11: per-level communication behaviour of the AMG hierarchy.
+
+* Figure 8 — max number of intra-region ("local") messages per process,
+  standard vs locality-optimized.
+* Figure 9 — max number of inter-region ("global") messages per process.
+* Figure 10 — max inter-region bytes per process, partially vs fully optimized
+  (the duplicate-removal saving; the paper reports up to 35% on level 4).
+* Figure 11 — modeled Start+Wait time of the SpMV communication on every
+  level for all four protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.collectives.plan import Variant
+from repro.experiments.config import ExperimentConfig, ExperimentContext
+from repro.utils.formatting import format_series
+
+
+@dataclass
+class PerLevelResult:
+    """All per-level series of Figures 8-11."""
+
+    levels: List[int]
+    rows_per_level: List[int]
+    local_messages: Dict[str, List[int]] = field(default_factory=dict)
+    global_messages: Dict[str, List[int]] = field(default_factory=dict)
+    global_bytes: Dict[str, List[int]] = field(default_factory=dict)
+    times: Dict[str, List[float]] = field(default_factory=dict)
+
+    # -- derived headline numbers -------------------------------------------------
+
+    def max_dedup_saving(self) -> float:
+        """Largest per-level relative reduction of max inter-region bytes (Fig. 10)."""
+        best = 0.0
+        for partial, full in zip(self.global_bytes["partially_optimized"],
+                                 self.global_bytes["fully_optimized"]):
+            if partial > 0:
+                best = max(best, 1.0 - full / partial)
+        return best
+
+    def table_fig8(self) -> str:
+        """Figure 8 series."""
+        return format_series(self.local_messages, self.levels, x_label="level",
+                             title="Figure 8: max intra-region messages per process",
+                             value_format="{:.0f}")
+
+    def table_fig9(self) -> str:
+        """Figure 9 series."""
+        return format_series(self.global_messages, self.levels, x_label="level",
+                             title="Figure 9: max inter-region messages per process",
+                             value_format="{:.0f}")
+
+    def table_fig10(self) -> str:
+        """Figure 10 series."""
+        return format_series(self.global_bytes, self.levels, x_label="level",
+                             title="Figure 10: max inter-region bytes per process",
+                             value_format="{:.0f}")
+
+    def table_fig11(self) -> str:
+        """Figure 11 series."""
+        return format_series(self.times, self.levels, x_label="level",
+                             title="Figure 11: SpMV communication time per level (seconds)")
+
+
+def run_per_level(context: ExperimentContext | None = None, *,
+                  config: ExperimentConfig | None = None) -> PerLevelResult:
+    """Reproduce the per-level analysis of Section 4.1 (Figures 8-11)."""
+    if context is None:
+        context = ExperimentContext.build(config or ExperimentConfig.from_environment())
+    profiles = context.profiles
+
+    result = PerLevelResult(levels=[p.level for p in profiles],
+                            rows_per_level=[p.n_rows for p in profiles])
+
+    std = [p.statistics[Variant.STANDARD] for p in profiles]
+    par = [p.statistics[Variant.PARTIAL] for p in profiles]
+    ful = [p.statistics[Variant.FULL] for p in profiles]
+
+    result.local_messages = {
+        "standard_local": [s.max_local_messages for s in std],
+        "optimized_local": [s.max_local_messages for s in par],
+    }
+    result.global_messages = {
+        "standard_global": [s.max_global_messages for s in std],
+        "optimized_global": [s.max_global_messages for s in par],
+    }
+    result.global_bytes = {
+        "partially_optimized": [s.max_global_bytes for s in par],
+        "fully_optimized": [s.max_global_bytes for s in ful],
+    }
+    result.times = {
+        "standard_hypre": [p.times[Variant.POINT_TO_POINT] for p in profiles],
+        "unoptimized_neighbor": [p.times[Variant.STANDARD] for p in profiles],
+        "partially_optimized_neighbor": [p.times[Variant.PARTIAL] for p in profiles],
+        "fully_optimized_neighbor": [p.times[Variant.FULL] for p in profiles],
+    }
+    return result

@@ -1,0 +1,80 @@
+"""Run every experiment and print the full report.
+
+``python -m repro.experiments.runner`` regenerates all figure series with the
+default (reduced) configuration; ``--paper`` switches to the paper's full-size
+configuration (slow in pure Python).  The same functions are reused by the
+pytest-benchmark targets in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from repro.experiments.ablation import run_balance_ablation, run_selection_ablation
+from repro.experiments.config import ExperimentConfig, ExperimentContext
+from repro.experiments.crossover import run_crossover
+from repro.experiments.graph_creation import run_graph_creation
+from repro.experiments.per_level import run_per_level
+from repro.experiments.scaling import run_strong_scaling, run_weak_scaling
+
+
+def run_all_experiments(config: ExperimentConfig | None = None, *,
+                        include_weak_scaling: bool = True,
+                        include_ablations: bool = True) -> Dict[str, object]:
+    """Run every experiment once and return the result objects keyed by figure."""
+    config = config or ExperimentConfig.from_environment()
+    context = ExperimentContext.build(config)
+    results: Dict[str, object] = {}
+    results["fig06_graph_creation"] = run_graph_creation(config)
+    results["fig07_crossover"] = run_crossover(context)
+    results["fig08_11_per_level"] = run_per_level(context)
+    results["fig12_strong_scaling"] = run_strong_scaling(context)
+    if include_weak_scaling:
+        results["fig13_weak_scaling"] = run_weak_scaling(config)
+    if include_ablations:
+        results["ablation_selection"] = run_selection_ablation(context)
+        results["ablation_balance"] = run_balance_ablation(context)
+    return results
+
+
+def render_report(results: Dict[str, object]) -> str:
+    """Format every result object into one plain-text report."""
+    sections = []
+    order = [
+        ("fig06_graph_creation", lambda r: r.to_table()),
+        ("fig07_crossover", lambda r: r.to_table()),
+        ("fig08_11_per_level", lambda r: "\n\n".join(
+            [r.table_fig8(), r.table_fig9(), r.table_fig10(), r.table_fig11()])),
+        ("fig12_strong_scaling", lambda r: r.to_table()),
+        ("fig13_weak_scaling", lambda r: r.to_table()),
+        ("ablation_selection", lambda r: r.to_table()),
+        ("ablation_balance", lambda r: r.to_table()),
+    ]
+    for key, renderer in order:
+        if key in results:
+            sections.append(renderer(results[key]))
+    return "\n\n" .join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Reproduce the paper's evaluation figures")
+    parser.add_argument("--paper", action="store_true",
+                        help="use the paper's full-size configuration (slow)")
+    parser.add_argument("--skip-weak", action="store_true",
+                        help="skip the weak-scaling study (it rebuilds hierarchies)")
+    parser.add_argument("--skip-ablations", action="store_true",
+                        help="skip the ablation studies")
+    args = parser.parse_args(argv)
+    config = ExperimentConfig.paper() if args.paper else ExperimentConfig.from_environment()
+    results = run_all_experiments(config,
+                                  include_weak_scaling=not args.skip_weak,
+                                  include_ablations=not args.skip_ablations)
+    print(render_report(results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

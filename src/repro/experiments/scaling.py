@@ -1,0 +1,125 @@
+"""Figures 12-13: strong and weak scaling of the SpMV communication.
+
+At every scale the measured quantity is the sum over all AMG levels of the
+SpMV communication cost.  Following Section 4.2, the optimized protocols use
+the standard strategy on any level where it is cheaper ("summing up the least
+expensive of standard communication and the given optimized neighbor collective
+at each step"), which is the per-level selection the paper's future-work
+discussion wants to automate.  The paper reports a 1.32x speedup (partial) plus
+0.07x (full) at 2048 processes for strong scaling and 1.96x + 0.21x for weak
+scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.amg.comm_analysis import hierarchy_comm_profiles
+from repro.amg.hierarchy import build_hierarchy
+from repro.collectives.plan import Variant
+from repro.experiments.config import ExperimentConfig, ExperimentContext
+from repro.perfmodel.params import lassen_parameters
+from repro.sparse.generators import weak_scaling_problem
+from repro.topology.presets import paper_mapping
+from repro.utils.errors import ValidationError
+from repro.utils.formatting import format_series
+
+#: Labels used in the printed tables (matching the paper's legends).
+_PROTOCOLS = {
+    "standard_hypre": Variant.POINT_TO_POINT,
+    "unoptimized_neighbor": Variant.STANDARD,
+    "partially_optimized_neighbor": Variant.PARTIAL,
+    "fully_optimized_neighbor": Variant.FULL,
+}
+
+
+@dataclass
+class ScalingResult:
+    """Total SpMV communication time per protocol over a range of scales."""
+
+    mode: str
+    process_counts: List[int]
+    times: Dict[str, List[float]] = field(default_factory=dict)
+
+    def speedup(self, protocol: str, *, baseline: str = "standard_hypre") -> List[float]:
+        """Per-scale speedup of ``protocol`` over ``baseline``."""
+        if protocol not in self.times or baseline not in self.times:
+            raise ValidationError(f"unknown protocol {protocol!r}")
+        return [b / t if t > 0 else float("inf")
+                for b, t in zip(self.times[baseline], self.times[protocol])]
+
+    def speedup_at_largest_scale(self, protocol: str) -> float:
+        """Speedup over standard Hypre at the largest process count."""
+        return self.speedup(protocol)[-1]
+
+    def to_table(self) -> str:
+        """Render the scaling series as a text table."""
+        title = ("Figure 12: strong scaling, SpMV communication time (seconds)"
+                 if self.mode == "strong"
+                 else "Figure 13: weak scaling, SpMV communication time (seconds)")
+        return format_series(self.times, self.process_counts,
+                             x_label="processes", title=title)
+
+
+def _protocol_times(profiles, *, best_per_level: bool) -> Dict[str, float]:
+    """Sum per-level times; optimized protocols may fall back to standard per level."""
+    totals: Dict[str, float] = {}
+    for label, variant in _PROTOCOLS.items():
+        total = 0.0
+        for profile in profiles:
+            time = profile.times[variant]
+            if best_per_level and variant in (Variant.PARTIAL, Variant.FULL):
+                time = min(time, profile.times[Variant.STANDARD])
+            total += time
+        totals[label] = total
+    return totals
+
+
+def run_strong_scaling(context: ExperimentContext | None = None, *,
+                       config: ExperimentConfig | None = None,
+                       process_counts: Sequence[int] | None = None,
+                       best_per_level: bool = True) -> ScalingResult:
+    """Reproduce Figure 12: fixed problem size, growing process count."""
+    if context is None:
+        context = ExperimentContext.build(config or ExperimentConfig.from_environment())
+    config = context.config
+    process_counts = list(process_counts if process_counts is not None
+                          else config.scaling_ranks)
+    result = ScalingResult(mode="strong", process_counts=process_counts)
+    for label in _PROTOCOLS:
+        result.times[label] = []
+    for n_ranks in process_counts:
+        scaled = context.redistributed(n_ranks)
+        totals = _protocol_times(scaled.profiles, best_per_level=best_per_level)
+        for label, total in totals.items():
+            result.times[label].append(total)
+    return result
+
+
+def run_weak_scaling(config: ExperimentConfig | None = None, *,
+                     process_counts: Sequence[int] | None = None,
+                     rows_per_rank: int | None = None,
+                     best_per_level: bool = True) -> ScalingResult:
+    """Reproduce Figure 13: fixed rows per process, growing process count."""
+    config = config or ExperimentConfig.from_environment()
+    process_counts = list(process_counts if process_counts is not None
+                          else config.scaling_ranks)
+    rows_per_rank = rows_per_rank or config.weak_rows_per_rank
+    result = ScalingResult(mode="weak", process_counts=process_counts)
+    for label in _PROTOCOLS:
+        result.times[label] = []
+    for n_ranks in process_counts:
+        problem = weak_scaling_problem(rows_per_rank, n_ranks,
+                                       epsilon=config.epsilon, theta=config.theta)
+        hierarchy = build_hierarchy(problem.matrix,
+                                    strength_theta=config.strength_theta,
+                                    seed=config.seed)
+        mapping = paper_mapping(n_ranks, ranks_per_node=config.ranks_per_node)
+        model = lassen_parameters(active_per_node=config.ranks_per_node)
+        profiles = hierarchy_comm_profiles(hierarchy, mapping, model=model,
+                                           strategy=config.strategy)
+        totals = _protocol_times(profiles, best_per_level=best_per_level)
+        for label, total in totals.items():
+            result.times[label].append(total)
+    return result

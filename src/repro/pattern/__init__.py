@@ -1,0 +1,40 @@
+"""Communication patterns: who sends which data items to whom.
+
+A :class:`CommPattern` is the library's common currency.  The sparse-matrix
+layer derives one from each distributed matrix (which off-process vector
+entries does every rank need), the collective planners transform it into phase
+plans for the standard / partially optimized / fully optimized neighborhood
+collectives, and the statistics module reports the per-rank, per-locality
+message counts and sizes that the paper's Figures 8-10 plot.
+"""
+
+from repro.pattern.comm_pattern import CommPattern
+from repro.pattern.builders import (
+    pattern_from_edges,
+    random_pattern,
+    halo_exchange_pattern,
+    neighbor_lists,
+)
+from repro.pattern.statistics import (
+    PatternStatistics,
+    pattern_statistics,
+    locality_message_counts,
+    locality_byte_counts,
+    average_neighbors,
+)
+from repro.pattern.validation import validate_pattern, patterns_equivalent
+
+__all__ = [
+    "CommPattern",
+    "pattern_from_edges",
+    "random_pattern",
+    "halo_exchange_pattern",
+    "neighbor_lists",
+    "PatternStatistics",
+    "pattern_statistics",
+    "locality_message_counts",
+    "locality_byte_counts",
+    "average_neighbors",
+    "validate_pattern",
+    "patterns_equivalent",
+]

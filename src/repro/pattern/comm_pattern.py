@@ -1,0 +1,184 @@
+"""The :class:`CommPattern` data structure.
+
+A pattern records, for every sending rank, the *data items* (identified by
+integer ids, e.g. global vector indices) it must deliver to every destination
+rank.  Item ids are what makes the fully-optimized collective possible: two
+destinations asking for the same item id from the same source constitute the
+duplicate data that three-step aggregation with deduplication sends across the
+region boundary only once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+import numpy as np
+
+from repro.utils.arrays import as_index_array
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+
+class CommPattern:
+    """Immutable description of an irregular communication pattern.
+
+    Parameters
+    ----------
+    n_ranks:
+        Size of the communicator the pattern lives on.
+    sends:
+        ``sends[src][dest]`` is an array of item ids rank ``src`` must deliver
+        to rank ``dest``.  Empty destination lists are dropped.
+    item_bytes:
+        Size in bytes of one data item (8 for the float64 vector entries of a
+        SpMV halo exchange).
+    """
+
+    def __init__(self, n_ranks: int,
+                 sends: Mapping[int, Mapping[int, Iterable[int]]],
+                 *, item_bytes: int = 8):
+        check_positive_int("n_ranks", n_ranks)
+        check_positive_int("item_bytes", item_bytes)
+        self.n_ranks = int(n_ranks)
+        self.item_bytes = int(item_bytes)
+
+        cleaned: Dict[int, Dict[int, np.ndarray]] = {}
+        for src, dests in sends.items():
+            src = int(src)
+            if src < 0 or src >= self.n_ranks:
+                raise ValidationError(f"source rank {src} out of range")
+            for dest, items in dests.items():
+                dest = int(dest)
+                if dest < 0 or dest >= self.n_ranks:
+                    raise ValidationError(f"destination rank {dest} out of range")
+                arr = as_index_array(items)
+                if arr.size == 0:
+                    continue
+                cleaned.setdefault(src, {})[dest] = arr
+        self._sends = cleaned
+        self._recvs: Dict[int, Dict[int, np.ndarray]] | None = None
+
+    # -- send-side accessors ---------------------------------------------------
+
+    def send_ranks(self, src: int) -> list[int]:
+        """Destination ranks of ``src`` in ascending order."""
+        self._check_rank(src)
+        return sorted(self._sends.get(src, {}).keys())
+
+    def send_items(self, src: int, dest: int) -> np.ndarray:
+        """Item ids ``src`` sends to ``dest`` (empty array when none)."""
+        self._check_rank(src)
+        self._check_rank(dest)
+        items = self._sends.get(src, {}).get(dest)
+        if items is None:
+            return np.empty(0, dtype=np.int64)
+        return items.copy()
+
+    def send_map(self, src: int) -> Dict[int, np.ndarray]:
+        """Copy of the full destination→items map of ``src``."""
+        self._check_rank(src)
+        return {dest: items.copy() for dest, items in self._sends.get(src, {}).items()}
+
+    # -- receive-side accessors --------------------------------------------------
+
+    def recv_ranks(self, dest: int) -> list[int]:
+        """Source ranks of ``dest`` in ascending order."""
+        self._check_rank(dest)
+        return sorted(self._transposed().get(dest, {}).keys())
+
+    def recv_items(self, dest: int, src: int) -> np.ndarray:
+        """Item ids ``dest`` receives from ``src``."""
+        self._check_rank(dest)
+        self._check_rank(src)
+        items = self._transposed().get(dest, {}).get(src)
+        if items is None:
+            return np.empty(0, dtype=np.int64)
+        return items.copy()
+
+    def recv_map(self, dest: int) -> Dict[int, np.ndarray]:
+        """Copy of the full source→items map of ``dest``."""
+        self._check_rank(dest)
+        return {src: items.copy()
+                for src, items in self._transposed().get(dest, {}).items()}
+
+    # -- global views -------------------------------------------------------------
+
+    def edges(self) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Iterate over ``(src, dest, items)`` triples in deterministic order."""
+        for src in sorted(self._sends):
+            for dest in sorted(self._sends[src]):
+                yield src, dest, self._sends[src][dest].copy()
+
+    def transpose(self) -> "CommPattern":
+        """Pattern with the roles of senders and receivers exchanged."""
+        transposed: Dict[int, Dict[int, np.ndarray]] = {}
+        for src, dest, items in self.edges():
+            transposed.setdefault(dest, {})[src] = items
+        return CommPattern(self.n_ranks, transposed, item_bytes=self.item_bytes)
+
+    @property
+    def n_messages(self) -> int:
+        """Total number of point-to-point messages in the standard scheme."""
+        return sum(len(dests) for dests in self._sends.values())
+
+    @property
+    def total_items(self) -> int:
+        """Total number of data items transferred (duplicates included)."""
+        return sum(int(items.size) for dests in self._sends.values()
+                   for items in dests.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes in the standard scheme."""
+        return self.total_items * self.item_bytes
+
+    def message_size(self, src: int, dest: int) -> int:
+        """Bytes of the (src, dest) message in the standard scheme."""
+        return int(self.send_items(src, dest).size) * self.item_bytes
+
+    def active_ranks(self) -> np.ndarray:
+        """Ranks that send or receive at least one message."""
+        active = set(self._sends.keys())
+        for dests in self._sends.values():
+            active.update(dests.keys())
+        return np.array(sorted(active), dtype=np.int64)
+
+    def restrict_to(self, ranks: Iterable[int]) -> "CommPattern":
+        """Sub-pattern containing only edges whose endpoints are both in ``ranks``."""
+        keep = set(int(r) for r in ranks)
+        sends: Dict[int, Dict[int, np.ndarray]] = {}
+        for src, dest, items in self.edges():
+            if src in keep and dest in keep:
+                sends.setdefault(src, {})[dest] = items
+        return CommPattern(self.n_ranks, sends, item_bytes=self.item_bytes)
+
+    # -- comparison / utilities -----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CommPattern):
+            return NotImplemented
+        if self.n_ranks != other.n_ranks or self.item_bytes != other.item_bytes:
+            return False
+        mine = {(s, d): tuple(items.tolist()) for s, d, items in self.edges()}
+        theirs = {(s, d): tuple(items.tolist()) for s, d, items in other.edges()}
+        return mine == theirs
+
+    def __hash__(self):  # patterns are mutable-free but large; identity hashing
+        return id(self)
+
+    def _transposed(self) -> Dict[int, Dict[int, np.ndarray]]:
+        if self._recvs is None:
+            recvs: Dict[int, Dict[int, np.ndarray]] = {}
+            for src, dests in self._sends.items():
+                for dest, items in dests.items():
+                    recvs.setdefault(dest, {})[src] = items
+            self._recvs = recvs
+        return self._recvs
+
+    def _check_rank(self, rank: int) -> None:
+        if rank < 0 or rank >= self.n_ranks:
+            raise ValidationError(f"rank {rank} out of range [0, {self.n_ranks})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CommPattern(n_ranks={self.n_ranks}, messages={self.n_messages}, "
+                f"items={self.total_items})")

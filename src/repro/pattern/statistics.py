@@ -1,0 +1,161 @@
+"""Pattern statistics: the quantities the paper's Figures 8-10 report.
+
+For the *standard* collective these statistics come straight from the pattern
+(one message per (src, dest) pair).  For the aggregated variants they come from
+the planner's phase plans; :mod:`repro.collectives.planner` re-uses the same
+:class:`PatternStatistics` container so the experiment code can treat all
+variants uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.pattern.comm_pattern import CommPattern
+from repro.topology.machine import Locality
+from repro.topology.mapping import RankMapping
+from repro.utils.errors import ValidationError
+
+
+@dataclass
+class PatternStatistics:
+    """Per-rank message counts and byte counts, split local vs inter-region.
+
+    "Local" means source and destination share an aggregation region (the
+    paper's intra-region messages); "global" means they do not.
+    """
+
+    n_ranks: int
+    local_messages: np.ndarray = field(default=None)
+    global_messages: np.ndarray = field(default=None)
+    local_bytes: np.ndarray = field(default=None)
+    global_bytes: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        for name in ("local_messages", "global_messages", "local_bytes", "global_bytes"):
+            value = getattr(self, name)
+            if value is None:
+                value = np.zeros(self.n_ranks, dtype=np.int64)
+            else:
+                value = np.asarray(value, dtype=np.int64)
+                if value.shape != (self.n_ranks,):
+                    raise ValidationError(f"{name} must have shape ({self.n_ranks},)")
+            setattr(self, name, value)
+
+    # -- the numbers the figures plot ------------------------------------------
+
+    @property
+    def max_local_messages(self) -> int:
+        """Figure 8: max number of intra-region messages sent by any process."""
+        return int(self.local_messages.max(initial=0))
+
+    @property
+    def max_global_messages(self) -> int:
+        """Figure 9: max number of inter-region messages sent by any process."""
+        return int(self.global_messages.max(initial=0))
+
+    @property
+    def max_local_bytes(self) -> int:
+        """Max intra-region bytes sent by any process."""
+        return int(self.local_bytes.max(initial=0))
+
+    @property
+    def max_global_bytes(self) -> int:
+        """Figure 10: max inter-region bytes sent by any process."""
+        return int(self.global_bytes.max(initial=0))
+
+    @property
+    def total_local_messages(self) -> int:
+        """Total intra-region message count."""
+        return int(self.local_messages.sum())
+
+    @property
+    def total_global_messages(self) -> int:
+        """Total inter-region message count."""
+        return int(self.global_messages.sum())
+
+    @property
+    def total_global_bytes(self) -> int:
+        """Total inter-region byte count."""
+        return int(self.global_bytes.sum())
+
+    def add_message(self, src: int, is_local: bool, nbytes: int) -> None:
+        """Account one message sent by ``src``."""
+        if src < 0 or src >= self.n_ranks:
+            raise ValidationError(f"rank {src} out of range")
+        if is_local:
+            self.local_messages[src] += 1
+            self.local_bytes[src] += int(nbytes)
+        else:
+            self.global_messages[src] += 1
+            self.global_bytes[src] += int(nbytes)
+
+    def merged_with(self, other: "PatternStatistics") -> "PatternStatistics":
+        """Element-wise sum of two statistics objects (e.g. across phases)."""
+        if other.n_ranks != self.n_ranks:
+            raise ValidationError("cannot merge statistics of different sizes")
+        return PatternStatistics(
+            n_ranks=self.n_ranks,
+            local_messages=self.local_messages + other.local_messages,
+            global_messages=self.global_messages + other.global_messages,
+            local_bytes=self.local_bytes + other.local_bytes,
+            global_bytes=self.global_bytes + other.global_bytes,
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Summary dictionary used by reports and EXPERIMENTS.md tables."""
+        return {
+            "max_local_messages": self.max_local_messages,
+            "max_global_messages": self.max_global_messages,
+            "max_local_bytes": self.max_local_bytes,
+            "max_global_bytes": self.max_global_bytes,
+            "total_local_messages": self.total_local_messages,
+            "total_global_messages": self.total_global_messages,
+            "total_global_bytes": self.total_global_bytes,
+        }
+
+
+def pattern_statistics(pattern: CommPattern, mapping: RankMapping) -> PatternStatistics:
+    """Statistics of the *standard* (unaggregated) communication of ``pattern``."""
+    if mapping.n_ranks < pattern.n_ranks:
+        raise ValidationError(
+            f"mapping covers {mapping.n_ranks} ranks but pattern has {pattern.n_ranks}"
+        )
+    stats = PatternStatistics(n_ranks=pattern.n_ranks)
+    for src, dest, items in pattern.edges():
+        if src == dest:
+            continue
+        is_local = mapping.same_region(src, dest)
+        stats.add_message(src, is_local, int(items.size) * pattern.item_bytes)
+    return stats
+
+
+def locality_message_counts(pattern: CommPattern,
+                            mapping: RankMapping) -> Dict[Locality, int]:
+    """Total message counts split by full locality class (not just local/global)."""
+    counts: Dict[Locality, int] = {loc: 0 for loc in Locality}
+    for src, dest, _ in pattern.edges():
+        counts[mapping.locality(src, dest)] += 1
+    return counts
+
+
+def locality_byte_counts(pattern: CommPattern,
+                         mapping: RankMapping) -> Dict[Locality, int]:
+    """Total byte counts split by full locality class."""
+    counts: Dict[Locality, int] = {loc: 0 for loc in Locality}
+    for src, dest, items in pattern.edges():
+        counts[mapping.locality(src, dest)] += int(items.size) * pattern.item_bytes
+    return counts
+
+
+def average_neighbors(pattern: CommPattern, ranks: Iterable[int] | None = None) -> float:
+    """Average out-degree over the given ranks (default: all ranks)."""
+    if ranks is None:
+        ranks = range(pattern.n_ranks)
+    ranks = list(ranks)
+    if not ranks:
+        return 0.0
+    return float(np.mean([len(pattern.send_ranks(r)) for r in ranks]))

@@ -1,0 +1,58 @@
+"""Structural validation of communication patterns.
+
+The planner assumes a handful of invariants (ranks in range, no empty item
+lists, item ids unique per (src, dest) edge when deduplication is requested).
+:func:`validate_pattern` checks them once up front so that plan construction
+can stay free of defensive code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pattern.comm_pattern import CommPattern
+from repro.utils.errors import ValidationError
+
+
+def validate_pattern(pattern: CommPattern, *, require_unique_items: bool = False,
+                     allow_self_messages: bool = True) -> None:
+    """Raise :class:`ValidationError` if ``pattern`` violates structural invariants.
+
+    Parameters
+    ----------
+    require_unique_items:
+        When True, the item ids on every (src, dest) edge must be unique —
+        duplicates *within one message* would make the deduplicating collective
+        ambiguous.  (Duplicates *across* destinations are expected; removing
+        them is the whole point of the fully-optimized variant.)
+    allow_self_messages:
+        When False, edges with ``src == dest`` are rejected.
+    """
+    n = pattern.n_ranks
+    for src, dest, items in pattern.edges():
+        if not (0 <= src < n) or not (0 <= dest < n):
+            raise ValidationError(f"edge ({src}, {dest}) outside communicator of size {n}")
+        if not allow_self_messages and src == dest:
+            raise ValidationError(f"self message on rank {src} not allowed here")
+        if items.size == 0:
+            raise ValidationError(f"edge ({src}, {dest}) carries no items")
+        if items.min() < 0:
+            raise ValidationError(f"edge ({src}, {dest}) has negative item ids")
+        if require_unique_items and np.unique(items).size != items.size:
+            raise ValidationError(
+                f"edge ({src}, {dest}) repeats item ids within a single message"
+            )
+
+
+def patterns_equivalent(a: CommPattern, b: CommPattern) -> bool:
+    """True when two patterns deliver the same multiset of items per (src, dest).
+
+    Unlike ``CommPattern.__eq__`` this ignores the order of items within a
+    message, which is the right notion of equivalence after a round-trip
+    through transpose or serialization.
+    """
+    if a.n_ranks != b.n_ranks or a.item_bytes != b.item_bytes:
+        return False
+    edges_a = {(s, d): tuple(sorted(items.tolist())) for s, d, items in a.edges()}
+    edges_b = {(s, d): tuple(sorted(items.tolist())) for s, d, items in b.edges()}
+    return edges_a == edges_b

@@ -1,0 +1,40 @@
+"""Communication performance models.
+
+The paper's measurements are wall-clock times of ``MPI_Start``/``MPI_Wait`` on
+Lassen.  We cannot time a network we do not have, so this package provides the
+models the related-work section describes — the postal (alpha-beta) model, the
+max-rate model with injection-bandwidth limits, and their locality-aware
+extension with separate intra-socket / inter-socket / inter-node parameters —
+and uses them to turn message lists produced by the collective planners into
+estimated times.  Parameter sets calibrated to published Lassen-class numbers
+live in :mod:`repro.perfmodel.params`.
+"""
+
+from repro.perfmodel.base import CostModel, MessageCost
+from repro.perfmodel.postal import PostalModel
+from repro.perfmodel.maxrate import MaxRateModel
+from repro.perfmodel.locality import LocalityAwareModel, LocalityParameters
+from repro.perfmodel.contention import QueueSearchModel, ContentionModel
+from repro.perfmodel.params import (
+    lassen_parameters,
+    smp_parameters,
+    graph_creation_model,
+    GraphCreationModel,
+    SetupCostModel,
+)
+
+__all__ = [
+    "CostModel",
+    "MessageCost",
+    "PostalModel",
+    "MaxRateModel",
+    "LocalityAwareModel",
+    "LocalityParameters",
+    "QueueSearchModel",
+    "ContentionModel",
+    "lassen_parameters",
+    "smp_parameters",
+    "graph_creation_model",
+    "GraphCreationModel",
+    "SetupCostModel",
+]

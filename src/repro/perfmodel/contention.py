@@ -1,0 +1,79 @@
+"""Queue-search and network-contention corrections.
+
+The coarse levels of an AMG hierarchy send *many small* messages; Bienz, Gropp
+and Olson showed that the postal family underestimates their cost because MPI
+must search its receive queues (cost growing with the number of posted
+messages) and because many simultaneous messages contend for links.  These
+corrections are optional wrappers around any base model: they add a per-message
+queue-search term proportional to the number of messages a process handles, and
+scale inter-node bandwidth terms by a contention factor derived from how many
+messages target the same node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.perfmodel.base import CostModel, MessageCost
+from repro.topology.machine import Locality
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class QueueSearchModel(CostModel):
+    """Adds a queue-search cost that grows with the number of messages.
+
+    The ``i``-th message handled by a process pays an extra
+    ``queue_time * i`` on top of the base model, reflecting the linear scan of
+    the unexpected-message queue.
+    """
+
+    base: CostModel
+    queue_time: float = 2.0e-7
+
+    def __post_init__(self):
+        if self.queue_time < 0:
+            raise ValidationError("queue_time must be non-negative")
+
+    def message_time(self, nbytes: int, locality: Locality) -> float:
+        """Single-message time excluding queue effects (delegates to base)."""
+        return self.base.message_time(nbytes, locality)
+
+    def process_time(self, messages: Iterable[MessageCost]) -> float:
+        """Sum of base times plus the triangular queue-search penalty."""
+        messages = list(messages)
+        base = sum(self.base.message_time(m.nbytes, m.locality) for m in messages)
+        n = sum(1 for m in messages if m.locality is not Locality.SELF)
+        queue = self.queue_time * (n * (n - 1) / 2.0)
+        return float(base + queue)
+
+    def describe(self) -> str:
+        return f"QueueSearch({self.base.describe()}, q={self.queue_time:.3g}s)"
+
+
+@dataclass(frozen=True)
+class ContentionModel(CostModel):
+    """Scales inter-node byte costs by a contention factor.
+
+    ``factor`` multiplies the bandwidth term of inter-node messages; a factor
+    of 1 recovers the base model.  Callers typically derive the factor from the
+    ratio of concurrent messages to available network ports.
+    """
+
+    base: CostModel
+    factor: float = 1.5
+
+    def __post_init__(self):
+        if self.factor < 1.0:
+            raise ValidationError("contention factor must be >= 1")
+
+    def message_time(self, nbytes: int, locality: Locality) -> float:
+        base_time = self.base.message_time(nbytes, locality)
+        if locality is not Locality.INTER_NODE or nbytes == 0:
+            return base_time
+        zero_byte = self.base.message_time(0, locality)
+        return zero_byte + (base_time - zero_byte) * self.factor
+
+    def describe(self) -> str:
+        return f"Contention({self.base.describe()}, x{self.factor:.2f})"

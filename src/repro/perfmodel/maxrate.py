@@ -1,0 +1,74 @@
+"""The max-rate model.
+
+Gropp, Olson and Samfass observed that on SMP nodes the ping-pong bandwidth
+overstates achievable rates because every process on a node shares the network
+interface.  The max-rate model caps the aggregate injection bandwidth of a
+node: with ``ppn`` active processes each sending ``s`` bytes, the per-process
+transfer time is ``s / min(R_b, ppn * R_N) * ppn`` where ``R_N`` is the
+per-process rate and ``R_b`` the node injection limit.  Here we express the
+same idea per message: the effective inverse bandwidth of an inter-node message
+is ``max(beta, ppn * beta_injection)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.base import CostModel
+from repro.topology.machine import Locality
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class MaxRateModel(CostModel):
+    """Postal model with a per-node injection-bandwidth ceiling.
+
+    Parameters
+    ----------
+    alpha:
+        Per-message latency (seconds).
+    beta:
+        Per-byte time achievable by a single process (seconds/byte).
+    beta_injection:
+        Per-byte time implied by the node's injection bandwidth when it is
+        shared by every active process (seconds/byte, already divided by one
+        process's fair share is *not* applied — see ``active_per_node``).
+    active_per_node:
+        Number of processes per node assumed to be injecting simultaneously.
+    """
+
+    alpha: float = 4.0e-6
+    beta: float = 8.0e-11
+    beta_injection: float = 4.5e-11
+    active_per_node: int = 16
+
+    def __post_init__(self):
+        if min(self.alpha, self.beta, self.beta_injection) < 0:
+            raise ValidationError("model parameters must be non-negative")
+        if self.active_per_node < 1:
+            raise ValidationError("active_per_node must be >= 1")
+
+    @property
+    def effective_beta(self) -> float:
+        """Per-byte time after applying the shared injection limit."""
+        return max(self.beta, self.active_per_node * self.beta_injection)
+
+    def message_time(self, nbytes: int, locality: Locality) -> float:
+        """Latency plus rate-limited bandwidth term for inter-node messages.
+
+        Intra-node messages are charged the un-capped ``beta`` since they do
+        not cross the network interface.
+        """
+        if nbytes < 0:
+            raise ValidationError("nbytes must be >= 0")
+        if locality is Locality.SELF:
+            return 0.0
+        if locality is Locality.INTER_NODE:
+            return self.alpha + nbytes * self.effective_beta
+        return self.alpha + nbytes * self.beta
+
+    def describe(self) -> str:
+        return (
+            f"MaxRateModel(alpha={self.alpha:.3g}s, beta={self.beta:.3g}s/B, "
+            f"beta_inj={self.beta_injection:.3g}s/B, ppn={self.active_per_node})"
+        )

@@ -1,0 +1,47 @@
+"""The postal (alpha-beta / Hockney) model.
+
+``T(s) = alpha + s * beta`` — a per-message latency plus a per-byte transfer
+cost, identical for every path.  This is the baseline model the paper's
+related-work section starts from; it ignores locality entirely and therefore
+predicts no benefit from aggregation, which makes it a useful control in the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.base import CostModel
+from repro.topology.machine import Locality
+from repro.utils.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PostalModel(CostModel):
+    """Uniform alpha-beta model.
+
+    Parameters
+    ----------
+    alpha:
+        Per-message latency in seconds.
+    beta:
+        Per-byte transfer time in seconds (inverse bandwidth).
+    """
+
+    alpha: float = 1.0e-6
+    beta: float = 1.0e-9
+
+    def __post_init__(self):
+        if self.alpha < 0 or self.beta < 0:
+            raise ValidationError("alpha and beta must be non-negative")
+
+    def message_time(self, nbytes: int, locality: Locality) -> float:
+        """Latency plus bandwidth term; locality is ignored by design."""
+        if nbytes < 0:
+            raise ValidationError("nbytes must be >= 0")
+        if locality is Locality.SELF:
+            return 0.0
+        return self.alpha + nbytes * self.beta
+
+    def describe(self) -> str:
+        return f"PostalModel(alpha={self.alpha:.3g}s, beta={self.beta:.3g}s/B)"

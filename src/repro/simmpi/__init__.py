@@ -1,0 +1,56 @@
+"""A functional, in-process simulated MPI runtime.
+
+The real system in the paper runs on thousands of MPI ranks; this package
+provides enough of MPI — persistent point-to-point communication, a handful of
+collectives, and distributed-graph topology communicators — for the
+neighborhood-collective implementations in :mod:`repro.collectives` to execute
+unmodified and be verified for correctness.  Ranks are Python threads inside
+one process exchanging numpy buffers through an in-memory fabric, so the
+runtime is about *data movement correctness*, never about wall-clock speed
+(timings come from :mod:`repro.perfmodel`).
+
+Typical use::
+
+    from repro import simmpi
+
+    def program(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        send = comm.send_init(np.full(4, comm.rank), dest=right, tag=7)
+        recv = comm.recv_init(np.empty(4), source=left, tag=7)
+        simmpi.start_all([send, recv]); simmpi.wait_all([send, recv])
+        return recv.buffer.copy()
+
+    results = simmpi.run_spmd(8, program)
+"""
+
+from repro.simmpi.mailbox import MessageFabric
+from repro.simmpi.request import (
+    Request,
+    PersistentRequest,
+    PersistentSendRequest,
+    PersistentRecvRequest,
+    start_all,
+    wait_all,
+)
+from repro.simmpi.comm import SimComm
+from repro.simmpi.world import SimWorld, run_spmd
+from repro.simmpi.topo_comm import DistGraphComm, dist_graph_create_adjacent
+from repro.simmpi.profiler import TrafficProfiler, TrafficRecord
+
+__all__ = [
+    "MessageFabric",
+    "Request",
+    "PersistentRequest",
+    "PersistentSendRequest",
+    "PersistentRecvRequest",
+    "start_all",
+    "wait_all",
+    "SimComm",
+    "SimWorld",
+    "run_spmd",
+    "DistGraphComm",
+    "dist_graph_create_adjacent",
+    "TrafficProfiler",
+    "TrafficRecord",
+]

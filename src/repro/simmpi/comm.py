@@ -1,0 +1,216 @@
+"""The simulated communicator.
+
+:class:`SimComm` exposes the slice of the MPI interface the library needs:
+
+* blocking and persistent point-to-point operations on numpy buffers,
+* object send/recv for small control messages (setup exchanges),
+* ``barrier``, ``allgather_obj``, ``allreduce`` and ``alltoall_obj``
+  collectives implemented on top of point-to-point,
+* communicator duplication (fresh context id) so concurrent collectives on the
+  same ranks never match each other's messages.
+
+Every communicator carries a *context id*; messages only match within a
+context, mirroring MPI's communicator isolation guarantee.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, List, Sequence
+
+import numpy as np
+
+from repro.simmpi.mailbox import Envelope, MessageFabric
+from repro.simmpi.request import (
+    PersistentRecvRequest,
+    PersistentSendRequest,
+)
+from repro.utils.errors import CommunicationError
+
+# Tags at or above this value are reserved for internal collective plumbing.
+_INTERNAL_TAG_BASE = 1 << 20
+
+
+class SimComm:
+    """A communicator over the ranks of one :class:`~repro.simmpi.world.SimWorld`."""
+
+    _context_counter = itertools.count(1)
+    _context_lock = threading.Lock()
+
+    def __init__(self, fabric: MessageFabric, rank: int, size: int, *,
+                 context: int | None = None,
+                 context_allocator: Callable[[], int] | None = None,
+                 traffic_callback: Callable[[Envelope], None] | None = None):
+        if rank < 0 or rank >= size:
+            raise CommunicationError(f"rank {rank} out of range for size {size}")
+        if size > fabric.n_ranks:
+            raise CommunicationError("communicator larger than the world fabric")
+        self.fabric = fabric
+        self.rank = int(rank)
+        self.size = int(size)
+        self.context = int(context) if context is not None else 0
+        self._context_allocator = context_allocator
+        self._traffic_callback = traffic_callback
+
+    # -- communicator management --------------------------------------------
+
+    def dup(self) -> "SimComm":
+        """Duplicate the communicator with a fresh context id.
+
+        All ranks must call ``dup`` the same number of times in the same order
+        (as in MPI); the context id is derived deterministically from the
+        parent context so that every rank computes the same value without
+        synchronising.
+        """
+        new_context = self._derive_context(self.context)
+        return SimComm(self.fabric, self.rank, self.size, context=new_context,
+                       traffic_callback=self._traffic_callback)
+
+    @staticmethod
+    def _derive_context(parent_context: int) -> int:
+        # Deterministic: every rank derives the same child id from the parent.
+        return parent_context * 131 + 7
+
+    def set_traffic_callback(self, callback: Callable[[Envelope], None] | None) -> None:
+        """Install a callback invoked with every envelope this rank sends."""
+        self._traffic_callback = callback
+
+    # -- point-to-point: persistent ------------------------------------------
+
+    def send_init(self, buffer: np.ndarray, dest: int, tag: int = 0) -> PersistentSendRequest:
+        """Create a persistent send request (MPI_Send_init)."""
+        self._check_peer(dest)
+        self._check_tag(tag)
+        return PersistentSendRequest(self.fabric, self.rank, dest, tag, self.context,
+                                     buffer, on_start=self._traffic_callback)
+
+    def recv_init(self, buffer: np.ndarray, source: int, tag: int = 0) -> PersistentRecvRequest:
+        """Create a persistent receive request (MPI_Recv_init)."""
+        self._check_peer(source)
+        self._check_tag(tag)
+        return PersistentRecvRequest(self.fabric, self.rank, source, tag, self.context,
+                                     buffer)
+
+    # -- point-to-point: blocking ---------------------------------------------
+
+    def send(self, buffer: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Blocking (eager) send of a numpy buffer."""
+        request = self.send_init(buffer, dest, tag)
+        request.start()
+        request.wait()
+
+    def recv(self, buffer: np.ndarray, source: int, tag: int = 0) -> np.ndarray:
+        """Blocking receive into ``buffer``; returns the buffer."""
+        request = self.recv_init(buffer, source, tag)
+        request.start()
+        request.wait()
+        return request.buffer
+
+    def send_obj(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send an arbitrary (small) Python object; used for setup exchanges."""
+        self._check_peer(dest)
+        envelope = Envelope(source=self.rank, dest=dest, tag=self._obj_tag(tag),
+                            context=self.context, payload=obj)
+        if self._traffic_callback is not None:
+            self._traffic_callback(envelope)
+        self.fabric.deliver(envelope)
+
+    def recv_obj(self, source: int, tag: int = 0) -> Any:
+        """Receive an object sent with :meth:`send_obj`."""
+        self._check_peer(source)
+        envelope = self.fabric.collect(self.rank, source, self._obj_tag(tag),
+                                       self.context)
+        return envelope.payload
+
+    # -- collectives ------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronise all ranks (gather-to-root then broadcast of a token)."""
+        root = 0
+        if self.rank == root:
+            for source in range(self.size):
+                if source != root:
+                    self.recv_obj(source, tag=_INTERNAL_TAG_BASE + 1)
+            for dest in range(self.size):
+                if dest != root:
+                    self.send_obj(None, dest, tag=_INTERNAL_TAG_BASE + 2)
+        else:
+            self.send_obj(None, root, tag=_INTERNAL_TAG_BASE + 1)
+            self.recv_obj(root, tag=_INTERNAL_TAG_BASE + 2)
+
+    def allgather_obj(self, value: Any) -> List[Any]:
+        """Gather one Python object from every rank onto every rank."""
+        root = 0
+        if self.rank == root:
+            gathered: List[Any] = [None] * self.size
+            gathered[root] = value
+            for source in range(self.size):
+                if source != root:
+                    gathered[source] = self.recv_obj(source, tag=_INTERNAL_TAG_BASE + 3)
+            for dest in range(self.size):
+                if dest != root:
+                    self.send_obj(gathered, dest, tag=_INTERNAL_TAG_BASE + 4)
+            return list(gathered)
+        self.send_obj(value, root, tag=_INTERNAL_TAG_BASE + 3)
+        return list(self.recv_obj(root, tag=_INTERNAL_TAG_BASE + 4))
+
+    def bcast_obj(self, value: Any, root: int = 0) -> Any:
+        """Broadcast a Python object from ``root`` to every rank."""
+        self._check_peer(root)
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send_obj(value, dest, tag=_INTERNAL_TAG_BASE + 5)
+            return value
+        return self.recv_obj(root, tag=_INTERNAL_TAG_BASE + 5)
+
+    def allreduce(self, value: float, op: Callable[[float, float], float] = None) -> float:
+        """All-reduce a scalar; ``op`` defaults to addition."""
+        import operator
+        op = op or operator.add
+        contributions = self.allgather_obj(value)
+        result = contributions[0]
+        for item in contributions[1:]:
+            result = op(result, item)
+        return result
+
+    def alltoall_obj(self, values: Sequence[Any]) -> List[Any]:
+        """Personalised all-to-all of Python objects (one item per rank)."""
+        if len(values) != self.size:
+            raise CommunicationError(
+                f"alltoall requires exactly {self.size} items, got {len(values)}"
+            )
+        for dest in range(self.size):
+            if dest != self.rank:
+                self.send_obj(values[dest], dest, tag=_INTERNAL_TAG_BASE + 6)
+        received: List[Any] = [None] * self.size
+        received[self.rank] = values[self.rank]
+        for source in range(self.size):
+            if source != self.rank:
+                received[source] = self.recv_obj(source, tag=_INTERNAL_TAG_BASE + 6)
+        return received
+
+    def reduce_scalar_max(self, value: float) -> float:
+        """Convenience max-allreduce used by statistics gathering."""
+        return self.allreduce(value, op=max)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _obj_tag(self, tag: int) -> int:
+        return _INTERNAL_TAG_BASE * 2 + tag
+
+    def _check_peer(self, peer: int) -> None:
+        if peer < 0 or peer >= self.size:
+            raise CommunicationError(
+                f"peer rank {peer} out of range for communicator of size {self.size}"
+            )
+
+    def _check_tag(self, tag: int) -> None:
+        if tag < 0 or tag >= _INTERNAL_TAG_BASE:
+            raise CommunicationError(
+                f"user tags must lie in [0, {_INTERNAL_TAG_BASE}), got {tag}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimComm(rank={self.rank}, size={self.size}, context={self.context})"

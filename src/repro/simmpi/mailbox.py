@@ -1,0 +1,138 @@
+"""The message fabric: thread-safe mailboxes connecting simulated ranks.
+
+Messages are matched MPI-style on ``(source, destination, tag, context)`` with
+FIFO ordering per matching key, where ``context`` distinguishes communicators
+(every :class:`~repro.simmpi.comm.SimComm` gets its own context id).  Delivery
+is eager: a send deposits an immutable copy of its payload and completes
+immediately; a receive blocks until a matching envelope arrives.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Tuple
+
+import numpy as np
+
+from repro.utils.errors import CommunicationError
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One in-flight message."""
+
+    source: int
+    dest: int
+    tag: int
+    context: int
+    payload: Any
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes (0 for non-array payloads)."""
+        if isinstance(self.payload, np.ndarray):
+            return int(self.payload.nbytes)
+        return 0
+
+
+_Key = Tuple[int, int, int, int]  # (dest, source, tag, context)
+
+
+class MessageFabric:
+    """Shared mailbox store for one simulated world."""
+
+    def __init__(self, n_ranks: int, *, timeout: float = 60.0):
+        if n_ranks <= 0:
+            raise CommunicationError("a world needs at least one rank")
+        self.n_ranks = int(n_ranks)
+        self.timeout = float(timeout)
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._queues: Dict[_Key, Deque[Envelope]] = {}
+        self._aborted: str | None = None
+
+    # -- sending ------------------------------------------------------------
+
+    def deliver(self, envelope: Envelope) -> None:
+        """Deposit ``envelope`` for its destination rank (never blocks)."""
+        self._check_rank(envelope.source)
+        self._check_rank(envelope.dest)
+        key = (envelope.dest, envelope.source, envelope.tag, envelope.context)
+        with self._available:
+            if self._aborted:
+                raise CommunicationError(f"world aborted: {self._aborted}")
+            self._queues.setdefault(key, deque()).append(envelope)
+            self._available.notify_all()
+
+    # -- receiving ----------------------------------------------------------
+
+    def collect(self, dest: int, source: int, tag: int, context: int) -> Envelope:
+        """Block until a message matching the key is available and return it."""
+        self._check_rank(dest)
+        self._check_rank(source)
+        key = (dest, source, tag, context)
+        with self._available:
+            waited = 0.0
+            step = 0.05
+            while True:
+                if self._aborted:
+                    raise CommunicationError(f"world aborted: {self._aborted}")
+                queue = self._queues.get(key)
+                if queue:
+                    envelope = queue.popleft()
+                    if not queue:
+                        del self._queues[key]
+                    return envelope
+                if waited >= self.timeout:
+                    raise CommunicationError(
+                        f"rank {dest} timed out after {self.timeout:.1f}s waiting for "
+                        f"a message from rank {source} with tag {tag}"
+                    )
+                self._available.wait(step)
+                waited += step
+
+    def try_collect(self, dest: int, source: int, tag: int, context: int) -> Envelope | None:
+        """Non-blocking variant of :meth:`collect`; returns None when empty."""
+        key = (dest, source, tag, context)
+        with self._available:
+            queue = self._queues.get(key)
+            if not queue:
+                return None
+            envelope = queue.popleft()
+            if not queue:
+                del self._queues[key]
+            return envelope
+
+    # -- failure handling ---------------------------------------------------
+
+    def abort(self, reason: str) -> None:
+        """Mark the world as failed and wake every waiting rank.
+
+        Called when one rank raises, so that the remaining ranks do not hang
+        on receives that will never be satisfied.
+        """
+        with self._available:
+            if self._aborted is None:
+                self._aborted = reason
+            self._available.notify_all()
+
+    @property
+    def aborted(self) -> str | None:
+        """Reason the world was aborted, or None while healthy."""
+        with self._lock:
+            return self._aborted
+
+    def pending_count(self) -> int:
+        """Number of undelivered envelopes (useful for leak checks in tests)."""
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if rank < 0 or rank >= self.n_ranks:
+            raise CommunicationError(
+                f"rank {rank} out of range for world of size {self.n_ranks}"
+            )

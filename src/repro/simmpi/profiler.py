@@ -1,0 +1,132 @@
+"""Traffic profiling for the simulated runtime.
+
+The profiler records every envelope a rank sends, classifies it by locality
+(when given a :class:`~repro.topology.mapping.RankMapping`), and produces the
+per-process and per-class statistics that the integration tests compare against
+the pure planner's predictions — if the functional collectives and the planner
+ever disagree about how many inter-region bytes move, something is wrong.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.simmpi.mailbox import Envelope
+from repro.topology.machine import Locality
+from repro.topology.mapping import RankMapping
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One observed message."""
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: int
+    locality: Optional[Locality]
+
+
+@dataclass
+class TrafficSummary:
+    """Aggregated counters for one locality class (or for all traffic)."""
+
+    message_count: int = 0
+    byte_count: int = 0
+
+    def add(self, nbytes: int) -> None:
+        self.message_count += 1
+        self.byte_count += int(nbytes)
+
+
+class TrafficProfiler:
+    """Thread-safe collector of sent messages across a simulated world."""
+
+    def __init__(self, mapping: RankMapping | None = None, *,
+                 ignore_self_messages: bool = True,
+                 ignore_object_messages: bool = True):
+        self.mapping = mapping
+        self.ignore_self_messages = ignore_self_messages
+        self.ignore_object_messages = ignore_object_messages
+        self._lock = threading.Lock()
+        self._records: List[TrafficRecord] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def record_envelope(self, envelope: Envelope) -> None:
+        """Callback installed on :class:`SimComm`; records one sent envelope."""
+        nbytes = envelope.nbytes
+        if self.ignore_object_messages and nbytes == 0:
+            return
+        if self.ignore_self_messages and envelope.source == envelope.dest:
+            return
+        locality = None
+        if self.mapping is not None:
+            locality = self.mapping.locality(envelope.source, envelope.dest)
+        record = TrafficRecord(source=envelope.source, dest=envelope.dest,
+                               tag=envelope.tag, nbytes=nbytes, locality=locality)
+        with self._lock:
+            self._records.append(record)
+
+    def clear(self) -> None:
+        """Drop all recorded traffic."""
+        with self._lock:
+            self._records.clear()
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def records(self) -> List[TrafficRecord]:
+        """Copy of all recorded messages."""
+        with self._lock:
+            return list(self._records)
+
+    def total(self) -> TrafficSummary:
+        """Counters over all recorded messages."""
+        summary = TrafficSummary()
+        for record in self.records:
+            summary.add(record.nbytes)
+        return summary
+
+    def by_locality(self) -> Dict[Locality, TrafficSummary]:
+        """Counters split by locality class (requires a mapping)."""
+        summaries: Dict[Locality, TrafficSummary] = defaultdict(TrafficSummary)
+        for record in self.records:
+            if record.locality is not None:
+                summaries[record.locality].add(record.nbytes)
+        return dict(summaries)
+
+    def per_rank(self, *, localities: Iterable[Locality] | None = None
+                 ) -> Dict[int, TrafficSummary]:
+        """Counters of sent traffic per source rank, optionally filtered by class."""
+        wanted = set(localities) if localities is not None else None
+        summaries: Dict[int, TrafficSummary] = defaultdict(TrafficSummary)
+        for record in self.records:
+            if wanted is not None and record.locality not in wanted:
+                continue
+            summaries[record.source].add(record.nbytes)
+        return dict(summaries)
+
+    def max_messages_per_rank(self, *, localities: Iterable[Locality] | None = None) -> int:
+        """Maximum number of messages sent by any single rank."""
+        per_rank = self.per_rank(localities=localities)
+        if not per_rank:
+            return 0
+        return max(s.message_count for s in per_rank.values())
+
+    def max_bytes_per_rank(self, *, localities: Iterable[Locality] | None = None) -> int:
+        """Maximum number of bytes sent by any single rank."""
+        per_rank = self.per_rank(localities=localities)
+        if not per_rank:
+            return 0
+        return max(s.byte_count for s in per_rank.values())
+
+    def inter_region_records(self) -> List[TrafficRecord]:
+        """Messages whose endpoints lie in different aggregation regions."""
+        if self.mapping is None:
+            return []
+        return [r for r in self.records
+                if not self.mapping.same_region(r.source, r.dest)]

@@ -1,0 +1,144 @@
+"""Requests: handles for non-blocking and persistent operations.
+
+The neighborhood collectives in the paper are built from *persistent*
+point-to-point requests (``MPI_Send_init`` / ``MPI_Recv_init`` followed by
+``MPI_Start`` and ``MPI_Wait`` every iteration).  The classes here mirror that
+life-cycle: a persistent request is created once, then repeatedly started and
+waited; starting an already-active request or waiting on an inactive one is an
+error, exactly as in MPI.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.simmpi.mailbox import Envelope, MessageFabric
+from repro.utils.errors import CommunicationError
+
+
+class Request(abc.ABC):
+    """Base class for all request handles."""
+
+    def __init__(self):
+        self._active = False
+        self._completed = False
+
+    @property
+    def active(self) -> bool:
+        """True between ``start()`` and the completing ``wait()``."""
+        return self._active
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Begin the operation."""
+
+    @abc.abstractmethod
+    def wait(self) -> None:
+        """Block until the operation completes."""
+
+
+class PersistentRequest(Request):
+    """Common state of persistent send/recv requests."""
+
+    def __init__(self, fabric: MessageFabric, rank: int, peer: int, tag: int,
+                 context: int):
+        super().__init__()
+        self.fabric = fabric
+        self.rank = int(rank)
+        self.peer = int(peer)
+        self.tag = int(tag)
+        self.context = int(context)
+
+    def _check_startable(self) -> None:
+        if self._active:
+            raise CommunicationError(
+                f"request ({self.rank}<->{self.peer}, tag {self.tag}) started twice "
+                "without an intervening wait"
+            )
+
+    def _check_waitable(self) -> None:
+        if not self._active:
+            raise CommunicationError(
+                f"wait on inactive request ({self.rank}<->{self.peer}, tag {self.tag})"
+            )
+
+
+class PersistentSendRequest(PersistentRequest):
+    """Persistent send: snapshots the buffer at every start and delivers eagerly."""
+
+    def __init__(self, fabric: MessageFabric, rank: int, dest: int, tag: int,
+                 context: int, buffer: np.ndarray, *, on_start=None):
+        super().__init__(fabric, rank, dest, tag, context)
+        self.buffer = np.asarray(buffer)
+        self._on_start = on_start
+
+    def start(self) -> None:
+        """Deliver a copy of the current buffer contents to the destination."""
+        self._check_startable()
+        payload = np.array(self.buffer, copy=True)
+        envelope = Envelope(source=self.rank, dest=self.peer, tag=self.tag,
+                            context=self.context, payload=payload)
+        if self._on_start is not None:
+            self._on_start(envelope)
+        self.fabric.deliver(envelope)
+        self._active = True
+
+    def wait(self) -> None:
+        """Complete the send (a no-op beyond state tracking; delivery is eager)."""
+        self._check_waitable()
+        self._active = False
+        self._completed = True
+
+
+class PersistentRecvRequest(PersistentRequest):
+    """Persistent receive: waits for a matching envelope and fills the buffer."""
+
+    def __init__(self, fabric: MessageFabric, rank: int, source: int, tag: int,
+                 context: int, buffer: np.ndarray):
+        super().__init__(fabric, rank, source, tag, context)
+        buffer = np.asarray(buffer)
+        if not buffer.flags.writeable:
+            raise CommunicationError("receive buffer must be writeable")
+        self.buffer = buffer
+
+    def start(self) -> None:
+        """Post the receive (matching happens at wait time)."""
+        self._check_startable()
+        self._active = True
+
+    def wait(self) -> None:
+        """Block for the matching message and copy it into the receive buffer."""
+        self._check_waitable()
+        envelope = self.fabric.collect(self.rank, self.peer, self.tag, self.context)
+        payload = np.asarray(envelope.payload)
+        if payload.size != self.buffer.size:
+            raise CommunicationError(
+                f"receive buffer size {self.buffer.size} does not match message "
+                f"size {payload.size} (from rank {self.peer}, tag {self.tag})"
+            )
+        self.buffer.reshape(-1)[:] = payload.reshape(-1)
+        self._active = False
+        self._completed = True
+
+
+def start_all(requests: Iterable[Request]) -> None:
+    """Start every request in order (MPI_Startall)."""
+    for request in requests:
+        request.start()
+
+
+def wait_all(requests: Sequence[Request]) -> None:
+    """Wait for every request (MPI_Waitall).
+
+    Receives are completed first so that buffered sends never block the
+    caller; order within each group follows the argument order.
+    """
+    recvs = [r for r in requests if isinstance(r, PersistentRecvRequest)]
+    others = [r for r in requests if not isinstance(r, PersistentRecvRequest)]
+    for request in recvs:
+        request.wait()
+    for request in others:
+        request.wait()

@@ -1,0 +1,87 @@
+"""Communication packages: from a distributed matrix to its halo-exchange pattern.
+
+Hypre builds a ``hypre_ParCSRCommPkg`` per matrix describing which vector
+entries each rank sends to / receives from which neighbours before a SpMV.
+:func:`build_comm_pkg` derives the same information from a
+:class:`~repro.sparse.parcsr.ParCSRMatrix`, and
+:func:`pattern_from_parcsr` exposes it as the :class:`CommPattern` the
+neighborhood-collective planners consume — item ids are global row indices, so
+the deduplicating collective can recognise when one vector entry is needed by
+several ranks on the same node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.pattern.comm_pattern import CommPattern
+from repro.sparse.parcsr import ParCSRMatrix
+from repro.utils.errors import ValidationError
+
+
+@dataclass
+class CommPkg:
+    """Halo-exchange description of one distributed matrix.
+
+    ``recv_items[rank][src]`` lists the global vector indices ``rank`` must
+    receive from ``src``; ``send_items[rank][dest]`` the indices it must send.
+    The two views are transposes of each other.
+    """
+
+    n_ranks: int
+    recv_items: Dict[int, Dict[int, np.ndarray]] = field(default_factory=dict)
+    send_items: Dict[int, Dict[int, np.ndarray]] = field(default_factory=dict)
+
+    def recv_map(self, rank: int) -> Dict[int, np.ndarray]:
+        """``{source: indices}`` for ``rank`` (copies)."""
+        return {src: items.copy() for src, items in self.recv_items.get(rank, {}).items()}
+
+    def send_map(self, rank: int) -> Dict[int, np.ndarray]:
+        """``{destination: indices}`` for ``rank`` (copies)."""
+        return {dest: items.copy() for dest, items in self.send_items.get(rank, {}).items()}
+
+    def neighbors(self, rank: int) -> tuple[List[int], List[int]]:
+        """``(sources, destinations)`` of ``rank`` in ascending order."""
+        sources = sorted(self.recv_items.get(rank, {}).keys())
+        destinations = sorted(self.send_items.get(rank, {}).keys())
+        return sources, destinations
+
+    def total_recv_items(self, rank: int) -> int:
+        """Number of off-process entries ``rank`` receives per SpMV."""
+        return sum(int(items.size) for items in self.recv_items.get(rank, {}).values())
+
+
+def build_comm_pkg(matrix: ParCSRMatrix) -> CommPkg:
+    """Construct the halo-exchange package of ``matrix``.
+
+    For every rank the off-diagonal column map gives the global vector entries
+    it needs; grouping those entries by owning rank yields the receive side,
+    and transposing yields the send side.
+    """
+    partition = matrix.partition
+    pkg = CommPkg(n_ranks=partition.n_ranks)
+    for rank in partition.iter_ranks():
+        needed = matrix.offd_columns(rank)
+        if needed.size == 0:
+            continue
+        owners = partition.owners_of(needed)
+        if np.any(owners == rank):
+            raise ValidationError("off-diagonal columns must be owned by other ranks")
+        recv: Dict[int, np.ndarray] = {}
+        for owner in np.unique(owners):
+            items = needed[owners == owner]
+            recv[int(owner)] = items.astype(np.int64)
+            pkg.send_items.setdefault(int(owner), {})[rank] = items.astype(np.int64)
+        pkg.recv_items[rank] = recv
+    return pkg
+
+
+def pattern_from_parcsr(matrix: ParCSRMatrix, *, item_bytes: int = 8) -> CommPattern:
+    """The SpMV communication pattern of ``matrix`` as a :class:`CommPattern`."""
+    pkg = build_comm_pkg(matrix)
+    sends = {rank: {dest: items for dest, items in dests.items()}
+             for rank, dests in pkg.send_items.items()}
+    return CommPattern(matrix.n_ranks, sends, item_bytes=item_bytes)

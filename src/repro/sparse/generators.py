@@ -1,0 +1,79 @@
+"""Problem generators for the scaling studies.
+
+The paper strong-scales a 524 288-row rotated anisotropic diffusion system over
+32-2048 processes (Figure 12) and weak-scales the same family at a fixed number
+of rows per process (Figure 13).  These helpers pick grid shapes whose product
+matches the requested row counts and build the corresponding matrices and
+partitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.sparse.parcsr import ParCSRMatrix
+from repro.sparse.partition import RowPartition
+from repro.sparse.stencils import rotated_anisotropic_diffusion
+from repro.utils.errors import ValidationError
+from repro.utils.validation import check_positive_int
+
+
+def grid_shape_for_rows(n_rows: int) -> Tuple[int, int]:
+    """A near-square 2-D grid shape with exactly ``n_rows`` points.
+
+    Prefers the factorisation closest to square (the paper's 524 288 rows is a
+    1024 x 512 grid); raises if ``n_rows`` has no factorisation with aspect
+    ratio at most 8 (arbitrarily long thin grids would distort communication).
+    """
+    check_positive_int("n_rows", n_rows)
+    best: Tuple[int, int] | None = None
+    for rows in range(int(math.isqrt(n_rows)), 0, -1):
+        if n_rows % rows == 0:
+            best = (n_rows // rows, rows)
+            break
+    if best is None or best[0] / best[1] > 8:
+        raise ValidationError(
+            f"cannot find a reasonable 2-D grid with {n_rows} points; "
+            "use a power-of-two row count"
+        )
+    return best
+
+
+@dataclass(frozen=True)
+class ScalingProblem:
+    """A generated problem: matrix, partition, and descriptive metadata."""
+
+    matrix: ParCSRMatrix
+    grid_shape: Tuple[int, int]
+    n_ranks: int
+    rows_per_rank: float
+
+    @property
+    def n_rows(self) -> int:
+        """Global rows of the problem."""
+        return self.matrix.n_rows
+
+
+def strong_scaling_problem(n_rows: int, n_ranks: int, *,
+                           epsilon: float = 0.001,
+                           theta: float = math.pi / 4.0) -> ScalingProblem:
+    """Fixed global size, varying rank count (Figure 12's setting)."""
+    check_positive_int("n_ranks", n_ranks)
+    grid_shape = grid_shape_for_rows(n_rows)
+    matrix = rotated_anisotropic_diffusion(grid_shape, epsilon=epsilon, theta=theta)
+    partition = RowPartition.even(n_rows, n_ranks)
+    return ScalingProblem(matrix=ParCSRMatrix(matrix, partition),
+                          grid_shape=grid_shape, n_ranks=n_ranks,
+                          rows_per_rank=n_rows / n_ranks)
+
+
+def weak_scaling_problem(rows_per_rank: int, n_ranks: int, *,
+                         epsilon: float = 0.001,
+                         theta: float = math.pi / 4.0) -> ScalingProblem:
+    """Fixed rows per rank, growing global size (Figure 13's setting)."""
+    check_positive_int("rows_per_rank", rows_per_rank)
+    check_positive_int("n_ranks", n_ranks)
+    return strong_scaling_problem(rows_per_rank * n_ranks, n_ranks,
+                                  epsilon=epsilon, theta=theta)

@@ -1,0 +1,152 @@
+"""ParCSR-style distributed matrices.
+
+Hypre stores a distributed matrix as, per rank, a *diag* block (columns owned
+by the rank) and an *offd* block (columns owned by other ranks) together with
+``col_map_offd``, the sorted global indices of the off-diagonal columns.  The
+off-diagonal columns are exactly the vector entries the rank must receive
+before a SpMV — they define the communication pattern.
+
+Here the matrix is kept globally (scipy CSR) next to its
+:class:`~repro.sparse.partition.RowPartition`; :meth:`ParCSRMatrix.local_blocks`
+materialises any rank's diag/offd view on demand.  This "globally stored,
+locally viewed" representation is what lets one Python process reason about
+patterns of thousands of simulated ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.partition import RowPartition
+from repro.utils.errors import ValidationError
+
+
+@dataclass
+class LocalBlocks:
+    """One rank's view of a ParCSR matrix."""
+
+    rank: int
+    row_range: tuple[int, int]
+    diag: sp.csr_matrix
+    offd: sp.csr_matrix
+    col_map_offd: np.ndarray
+
+    @property
+    def n_local_rows(self) -> int:
+        """Rows owned by the rank."""
+        return self.diag.shape[0]
+
+    @property
+    def n_offd_cols(self) -> int:
+        """Number of distinct off-process columns referenced by the rank."""
+        return int(self.col_map_offd.size)
+
+
+class ParCSRMatrix:
+    """A globally stored sparse matrix with a row partition over simulated ranks."""
+
+    def __init__(self, matrix: sp.spmatrix, partition: RowPartition):
+        matrix = sp.csr_matrix(matrix)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValidationError("ParCSRMatrix requires a square matrix")
+        if matrix.shape[0] != partition.n_rows:
+            raise ValidationError(
+                f"matrix has {matrix.shape[0]} rows but partition covers "
+                f"{partition.n_rows}"
+            )
+        self.matrix = matrix
+        self.partition = partition
+        self._block_cache: Dict[int, LocalBlocks] = {}
+
+    # -- global properties ---------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Global number of rows."""
+        return self.matrix.shape[0]
+
+    @property
+    def nnz(self) -> int:
+        """Global number of stored non-zeros."""
+        return int(self.matrix.nnz)
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks in the partition."""
+        return self.partition.n_ranks
+
+    def with_partition(self, partition: RowPartition) -> "ParCSRMatrix":
+        """Same matrix, different distribution."""
+        return ParCSRMatrix(self.matrix, partition)
+
+    # -- per-rank views ---------------------------------------------------------------
+
+    def local_blocks(self, rank: int) -> LocalBlocks:
+        """Diag/offd split of ``rank``'s rows (cached)."""
+        if rank in self._block_cache:
+            return self._block_cache[rank]
+        first, last = self.partition.row_range(rank)
+        local = self.matrix[first:last, :].tocsc()
+        diag = local[:, first:last].tocsr()
+        if first > 0 or last < self.n_rows:
+            left = local[:, :first]
+            right = local[:, last:]
+            offd_global = sp.hstack([left, right], format="csc")
+            # Global column ids of the off-diagonal part, in the hstack order.
+            col_ids = np.concatenate([np.arange(0, first), np.arange(last, self.n_rows)])
+        else:
+            offd_global = sp.csc_matrix((last - first, 0))
+            col_ids = np.empty(0, dtype=np.int64)
+        # Keep only columns that actually carry non-zeros; their sorted global
+        # indices form col_map_offd, as in hypre.
+        nnz_per_col = np.diff(offd_global.indptr)
+        used = np.flatnonzero(nnz_per_col > 0)
+        col_map_offd = col_ids[used].astype(np.int64)
+        order = np.argsort(col_map_offd)
+        col_map_offd = col_map_offd[order]
+        offd = offd_global[:, used[order]].tocsr()
+        blocks = LocalBlocks(rank=rank, row_range=(first, last), diag=diag,
+                             offd=offd, col_map_offd=col_map_offd)
+        self._block_cache[rank] = blocks
+        return blocks
+
+    def offd_columns(self, rank: int) -> np.ndarray:
+        """Global indices of off-process vector entries ``rank`` needs for a SpMV.
+
+        Computed directly from the CSR structure (without materialising the
+        rank's diag/offd blocks) because the experiment harness calls this for
+        every rank of every AMG level at up to thousands of simulated ranks.
+        """
+        if rank in self._block_cache:
+            return self._block_cache[rank].col_map_offd.copy()
+        first, last = self.partition.row_range(rank)
+        start, stop = self.matrix.indptr[first], self.matrix.indptr[last]
+        cols = self.matrix.indices[start:stop]
+        outside = cols[(cols < first) | (cols >= last)]
+        return np.unique(outside).astype(np.int64)
+
+    def iter_local_blocks(self) -> Iterator[LocalBlocks]:
+        """Iterate over every rank's local view (ranks with no rows included)."""
+        for rank in self.partition.iter_ranks():
+            yield self.local_blocks(rank)
+
+    # -- convenience -------------------------------------------------------------------
+
+    def row_owner(self, row: int) -> int:
+        """Rank owning a global row."""
+        return self.partition.owner_of(row)
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Sequential reference product ``A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_rows,):
+            raise ValidationError(f"x must have shape ({self.n_rows},), got {x.shape}")
+        return self.matrix @ x
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ParCSRMatrix(n={self.n_rows}, nnz={self.nnz}, "
+                f"ranks={self.n_ranks})")

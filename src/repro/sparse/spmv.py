@@ -1,0 +1,132 @@
+"""Sparse matrix-vector multiplication, sequential and distributed.
+
+``sequential_spmv`` is the reference answer.  :class:`DistributedSpMV` is the
+functional distributed version: one instance per rank, exchanging halo entries
+through a persistent neighborhood collective (any variant) on the simulated MPI
+runtime, exactly the structure of ``hypre_ParCSRMatrixMatvec``.  The
+integration tests run it at small rank counts and check the result against the
+sequential product to machine precision; that is the correctness argument for
+replacing Hypre's point-to-point communication with the optimized collectives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.collectives.aggregation import BalanceStrategy
+from repro.collectives.api import neighbor_alltoallv_init
+from repro.collectives.plan import Variant
+from repro.pattern.builders import neighbor_lists
+from repro.simmpi.comm import SimComm
+from repro.simmpi.topo_comm import dist_graph_create_adjacent
+from repro.sparse.comm_pkg import build_comm_pkg, pattern_from_parcsr
+from repro.sparse.parcsr import ParCSRMatrix
+from repro.topology.mapping import RankMapping
+from repro.utils.errors import ValidationError
+
+
+def sequential_spmv(matrix: ParCSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Reference product ``A @ x`` computed on the global matrix."""
+    return matrix.spmv(x)
+
+
+class DistributedSpMV:
+    """One rank's persistent distributed SpMV.
+
+    Construction is collective: every rank of the communicator builds its own
+    instance with the same matrix and mapping.  ``multiply`` performs the halo
+    exchange through the configured neighborhood-collective variant and then
+    the local ``diag``/``offd`` products.
+    """
+
+    def __init__(self, comm: SimComm, matrix: ParCSRMatrix, mapping: RankMapping, *,
+                 variant: Variant | str = Variant.PARTIAL,
+                 strategy: BalanceStrategy = BalanceStrategy.BYTES):
+        if comm.size < matrix.n_ranks:
+            raise ValidationError(
+                f"communicator has {comm.size} ranks but the matrix is partitioned "
+                f"over {matrix.n_ranks}"
+            )
+        self.comm = comm
+        self.matrix = matrix
+        self.mapping = mapping
+        self.rank = comm.rank
+        self.blocks = matrix.local_blocks(self.rank)
+        self.row_range = self.blocks.row_range
+
+        pkg = build_comm_pkg(matrix)
+        send_items = {dest: items.tolist() for dest, items in pkg.send_map(self.rank).items()}
+        recv_items = {src: items.tolist() for src, items in pkg.recv_map(self.rank).items()}
+        sources = np.array(sorted(recv_items), dtype=np.int64)
+        destinations = np.array(sorted(send_items), dtype=np.int64)
+        graph_comm = dist_graph_create_adjacent(comm, sources, destinations,
+                                                validate=False)
+        self.collective = neighbor_alltoallv_init(
+            graph_comm, send_items, recv_items, mapping,
+            variant=variant, strategy=strategy)
+        # Positions of the received entries in the offd product input.
+        self._offd_positions = {int(col): position
+                                for position, col in enumerate(self.blocks.col_map_offd)}
+
+    @property
+    def n_local_rows(self) -> int:
+        """Rows owned by this rank."""
+        return self.blocks.n_local_rows
+
+    def multiply(self, x_local: np.ndarray) -> np.ndarray:
+        """Compute the local rows of ``A @ x``.
+
+        ``x_local`` holds this rank's owned entries of the global vector; the
+        returned array holds the owned entries of the product.
+        """
+        x_local = np.asarray(x_local, dtype=np.float64)
+        if x_local.shape != (self.n_local_rows,):
+            raise ValidationError(
+                f"x_local must have shape ({self.n_local_rows},), got {x_local.shape}"
+            )
+        first, _ = self.row_range
+        owned_values = {int(first + i): float(x_local[i]) for i in range(x_local.size)}
+        received = self.collective.exchange(owned_values)
+
+        result = self.blocks.diag @ x_local
+        if self.blocks.n_offd_cols:
+            x_offd = np.zeros(self.blocks.n_offd_cols, dtype=np.float64)
+            for col, value in received.items():
+                position = self._offd_positions.get(int(col))
+                if position is not None:
+                    x_offd[position] = value
+            result = result + self.blocks.offd @ x_offd
+        return result
+
+
+def distributed_spmv_results(matrix: ParCSRMatrix, mapping: RankMapping,
+                             x: np.ndarray, *,
+                             variant: Variant | str = Variant.PARTIAL,
+                             strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                             timeout: float = 120.0) -> np.ndarray:
+    """Run a full distributed SpMV over the simulated runtime and assemble ``A @ x``.
+
+    This is the one-call form used by tests and examples: it launches one
+    simulated rank per partition entry, performs the halo exchange with the
+    requested collective variant, and stitches the per-rank results back into a
+    global vector.
+    """
+    from repro.simmpi.world import run_spmd  # local import to avoid cycles at import time
+
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (matrix.n_rows,):
+        raise ValidationError(f"x must have shape ({matrix.n_rows},), got {x.shape}")
+
+    def program(comm: SimComm) -> List[float]:
+        spmv = DistributedSpMV(comm, matrix, mapping, variant=variant, strategy=strategy)
+        first, last = spmv.row_range
+        return spmv.multiply(x[first:last]).tolist()
+
+    per_rank = run_spmd(matrix.n_ranks, program, timeout=timeout)
+    result = np.empty(matrix.n_rows, dtype=np.float64)
+    for rank, values in enumerate(per_rank):
+        first, last = matrix.partition.row_range(rank)
+        result[first:last] = values
+    return result

@@ -1,0 +1,235 @@
+"""Rank-to-core placement and locality-region queries.
+
+A :class:`RankMapping` places ``n_ranks`` MPI ranks onto a
+:class:`~repro.topology.machine.MachineSpec`.  The paper runs 16 ranks per node
+on a single CPU of Lassen's two 22-core CPUs; that corresponds to
+``RankMapping(machine, n_ranks, ranks_per_node=16, kind=MappingKind.BLOCK)``.
+
+The mapping also defines the *aggregation region* used by the locality-aware
+collectives.  By default a region is a node (all ranks mapped to the same
+node); ``region="socket"`` makes each NUMA region its own aggregation region,
+which matters on machines where inter-socket traffic is the expensive path.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.topology.machine import Locality, MachineSpec
+from repro.utils.errors import TopologyError
+from repro.utils.validation import check_positive_int
+
+
+class MappingKind(enum.Enum):
+    """How consecutive ranks are laid out across the machine."""
+
+    #: Rank ``r`` goes to node ``r // ranks_per_node`` (MPI's usual default).
+    BLOCK = "block"
+    #: Rank ``r`` goes to node ``r % n_nodes`` (cyclic / round-robin placement).
+    ROUND_ROBIN = "round_robin"
+    #: Placement supplied explicitly as an array of core ids.
+    CUSTOM = "custom"
+
+
+class RankMapping:
+    """Placement of MPI ranks on a machine plus locality-region structure."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        n_ranks: int,
+        *,
+        ranks_per_node: int | None = None,
+        kind: MappingKind = MappingKind.BLOCK,
+        region: str = "node",
+        custom_cores: Sequence[int] | None = None,
+    ):
+        check_positive_int("n_ranks", n_ranks)
+        self.machine = machine
+        self.n_ranks = int(n_ranks)
+        self.kind = MappingKind(kind)
+        if region not in ("node", "socket"):
+            raise TopologyError(f"region must be 'node' or 'socket', got {region!r}")
+        self.region_kind = region
+
+        if ranks_per_node is None:
+            ranks_per_node = min(machine.cores_per_node, self.n_ranks)
+        check_positive_int("ranks_per_node", ranks_per_node)
+        if ranks_per_node > machine.cores_per_node:
+            raise TopologyError(
+                f"ranks_per_node={ranks_per_node} exceeds cores per node "
+                f"({machine.cores_per_node})"
+            )
+        self.ranks_per_node = int(ranks_per_node)
+
+        if self.kind is MappingKind.CUSTOM:
+            if custom_cores is None:
+                raise TopologyError("custom mapping requires custom_cores")
+            cores = np.asarray(custom_cores, dtype=np.int64)
+            if cores.shape != (self.n_ranks,):
+                raise TopologyError(
+                    f"custom_cores must have shape ({self.n_ranks},), got {cores.shape}"
+                )
+            if cores.size and (cores.min() < 0 or cores.max() >= machine.total_cores):
+                raise TopologyError("custom_cores contains out-of-range core ids")
+            if np.unique(cores).size != cores.size:
+                raise TopologyError("custom_cores places two ranks on the same core")
+            self._cores = cores
+        else:
+            self._cores = self._build_cores()
+
+        self._nodes = self._cores // machine.cores_per_node
+        within = self._cores % machine.cores_per_node
+        self._sockets = (self._nodes * machine.sockets_per_node
+                         + within // machine.cores_per_socket)
+        if self.region_kind == "node":
+            self._regions = self._nodes.copy()
+        else:
+            self._regions = self._sockets.copy()
+
+        # Regions are renumbered densely in order of first appearance so that
+        # region ids are always 0..n_regions-1 even for sparse placements.
+        unique, dense = np.unique(self._regions, return_inverse=True)
+        self._region_renumber = unique
+        self._regions = dense.astype(np.int64)
+        self._n_regions = int(unique.size)
+
+        self._region_members: list[np.ndarray] = [
+            np.flatnonzero(self._regions == r).astype(np.int64)
+            for r in range(self._n_regions)
+        ]
+        self._local_index = np.empty(self.n_ranks, dtype=np.int64)
+        for members in self._region_members:
+            self._local_index[members] = np.arange(members.size)
+
+    # -- construction -----------------------------------------------------
+
+    def _build_cores(self) -> np.ndarray:
+        machine = self.machine
+        needed_nodes = -(-self.n_ranks // self.ranks_per_node)  # ceil division
+        if needed_nodes > machine.nodes:
+            raise TopologyError(
+                f"{self.n_ranks} ranks at {self.ranks_per_node} per node need "
+                f"{needed_nodes} nodes but machine has {machine.nodes}"
+            )
+        ranks = np.arange(self.n_ranks, dtype=np.int64)
+        if self.kind is MappingKind.BLOCK:
+            node = ranks // self.ranks_per_node
+            slot = ranks % self.ranks_per_node
+        elif self.kind is MappingKind.ROUND_ROBIN:
+            node = ranks % needed_nodes
+            slot = ranks // needed_nodes
+            if slot.size and slot.max() >= self.ranks_per_node:
+                raise TopologyError(
+                    "round-robin placement overflows ranks_per_node; "
+                    "increase ranks_per_node or nodes"
+                )
+        else:  # pragma: no cover - CUSTOM handled by caller
+            raise TopologyError("custom mapping must supply custom_cores")
+        return node * machine.cores_per_node + slot
+
+    @classmethod
+    def from_cores(cls, machine: MachineSpec, cores: Sequence[int], *,
+                   region: str = "node") -> "RankMapping":
+        """Build a mapping from an explicit rank→core array."""
+        cores = np.asarray(cores, dtype=np.int64)
+        return cls(machine, len(cores), kind=MappingKind.CUSTOM,
+                   custom_cores=cores, region=region,
+                   ranks_per_node=machine.cores_per_node)
+
+    # -- per-rank queries --------------------------------------------------
+
+    def core_of(self, rank: int) -> int:
+        """Core id hosting ``rank``."""
+        self._check_rank(rank)
+        return int(self._cores[rank])
+
+    def node_of(self, rank: int) -> int:
+        """Node id hosting ``rank``."""
+        self._check_rank(rank)
+        return int(self._nodes[rank])
+
+    def socket_of(self, rank: int) -> int:
+        """Global socket (NUMA region) id hosting ``rank``."""
+        self._check_rank(rank)
+        return int(self._sockets[rank])
+
+    def region_of(self, rank: int) -> int:
+        """Aggregation-region id of ``rank`` (dense, 0-based)."""
+        self._check_rank(rank)
+        return int(self._regions[rank])
+
+    def local_index(self, rank: int) -> int:
+        """Position of ``rank`` within its region (0..region_size-1)."""
+        self._check_rank(rank)
+        return int(self._local_index[rank])
+
+    def locality(self, rank_a: int, rank_b: int) -> Locality:
+        """Locality class of a message from ``rank_a`` to ``rank_b``."""
+        self._check_rank(rank_a)
+        self._check_rank(rank_b)
+        if rank_a == rank_b:
+            return Locality.SELF
+        if self._nodes[rank_a] != self._nodes[rank_b]:
+            return Locality.INTER_NODE
+        if self._sockets[rank_a] != self._sockets[rank_b]:
+            return Locality.INTER_SOCKET
+        return Locality.INTRA_SOCKET
+
+    def same_region(self, rank_a: int, rank_b: int) -> bool:
+        """True when the two ranks share an aggregation region."""
+        self._check_rank(rank_a)
+        self._check_rank(rank_b)
+        return bool(self._regions[rank_a] == self._regions[rank_b])
+
+    # -- region-level queries ----------------------------------------------
+
+    @property
+    def n_regions(self) -> int:
+        """Number of aggregation regions actually populated by ranks."""
+        return self._n_regions
+
+    def ranks_in_region(self, region: int) -> np.ndarray:
+        """Sorted array of ranks belonging to ``region``."""
+        if region < 0 or region >= self._n_regions:
+            raise TopologyError(f"region {region} out of range [0, {self._n_regions})")
+        return self._region_members[region].copy()
+
+    def region_size(self, region: int) -> int:
+        """Number of ranks in ``region``."""
+        return int(self.ranks_in_region(region).size)
+
+    def regions_array(self) -> np.ndarray:
+        """Vector of region ids indexed by rank (copy)."""
+        return self._regions.copy()
+
+    def nodes_array(self) -> np.ndarray:
+        """Vector of node ids indexed by rank (copy)."""
+        return self._nodes.copy()
+
+    def region_of_many(self, ranks: Iterable[int]) -> np.ndarray:
+        """Vectorised :meth:`region_of`."""
+        ranks = np.asarray(list(ranks), dtype=np.int64)
+        if ranks.size and (ranks.min() < 0 or ranks.max() >= self.n_ranks):
+            raise TopologyError("rank out of range")
+        return self._regions[ranks]
+
+    # -- misc ---------------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if rank < 0 or rank >= self.n_ranks:
+            raise TopologyError(f"rank {rank} out of range [0, {self.n_ranks})")
+
+    def describe(self) -> str:
+        """Human-readable summary used by examples and reports."""
+        return (
+            f"{self.n_ranks} ranks on {self.machine.name} "
+            f"({self.ranks_per_node}/node, {self.kind.value} placement, "
+            f"{self._n_regions} {self.region_kind} regions)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RankMapping({self.describe()})"

@@ -1,0 +1,83 @@
+"""Region-level views and statistics over a rank mapping.
+
+These helpers answer the questions the aggregation planner asks repeatedly:
+which regions does a set of destination ranks span, how many ranks live in each
+region, and how is traffic distributed across regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.topology.mapping import RankMapping
+
+
+@dataclass(frozen=True)
+class RegionView:
+    """Immutable snapshot of one aggregation region.
+
+    Attributes
+    ----------
+    region:
+        Dense region id.
+    ranks:
+        Ranks in the region in ascending order.
+    """
+
+    region: int
+    ranks: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the region."""
+        return len(self.ranks)
+
+    def local_rank(self, rank: int) -> int:
+        """Index of ``rank`` inside the region."""
+        return self.ranks.index(rank)
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self.ranks
+
+
+def ranks_by_region(mapping: RankMapping) -> list[RegionView]:
+    """Return a :class:`RegionView` for every populated region."""
+    return [
+        RegionView(region=r, ranks=tuple(int(x) for x in mapping.ranks_in_region(r)))
+        for r in range(mapping.n_regions)
+    ]
+
+
+def region_histogram(mapping: RankMapping, destinations: Iterable[int]) -> dict[int, int]:
+    """Count how many of ``destinations`` fall into each region.
+
+    Used by the planner's load balancing and by the statistics module to report
+    how many distinct regions a rank communicates with.
+    """
+    dests = np.asarray(list(destinations), dtype=np.int64)
+    if dests.size == 0:
+        return {}
+    regions = mapping.region_of_many(dests)
+    unique, counts = np.unique(regions, return_counts=True)
+    return {int(r): int(c) for r, c in zip(unique, counts)}
+
+
+def destination_regions(mapping: RankMapping, destinations: Iterable[int]) -> np.ndarray:
+    """Sorted unique region ids covering ``destinations``."""
+    dests = np.asarray(list(destinations), dtype=np.int64)
+    if dests.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(mapping.region_of_many(dests))
+
+
+def bytes_by_region(mapping: RankMapping,
+                    messages: Sequence[tuple[int, int]]) -> Mapping[int, int]:
+    """Aggregate ``(destination_rank, nbytes)`` pairs into per-region byte totals."""
+    totals: dict[int, int] = {}
+    for dest, nbytes in messages:
+        region = mapping.region_of(int(dest))
+        totals[region] = totals.get(region, 0) + int(nbytes)
+    return totals

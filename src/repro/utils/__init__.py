@@ -1,0 +1,65 @@
+"""Shared utilities used by every ``repro`` subpackage.
+
+The helpers here are intentionally small and dependency-free so that the
+substrate packages (:mod:`repro.topology`, :mod:`repro.simmpi`, ...) never have
+to import each other just to validate arguments or format a report table.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    ValidationError,
+    CommunicationError,
+    PlanError,
+)
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_in_range,
+    check_probability,
+    check_index_array,
+    check_monotone,
+    check_type,
+)
+from repro.utils.arrays import (
+    as_index_array,
+    concatenate_or_empty,
+    counts_to_displs,
+    displs_to_counts,
+    invert_permutation,
+    partition_evenly,
+    stable_unique,
+)
+from repro.utils.formatting import (
+    format_bytes,
+    format_seconds,
+    format_table,
+    format_series,
+)
+from repro.utils.timing import Timer, WallClock
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "CommunicationError",
+    "PlanError",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_in_range",
+    "check_probability",
+    "check_index_array",
+    "check_monotone",
+    "check_type",
+    "as_index_array",
+    "concatenate_or_empty",
+    "counts_to_displs",
+    "displs_to_counts",
+    "invert_permutation",
+    "partition_evenly",
+    "stable_unique",
+    "format_bytes",
+    "format_seconds",
+    "format_table",
+    "format_series",
+    "Timer",
+    "WallClock",
+]

@@ -1,0 +1,105 @@
+"""Array helpers shared by the pattern, collective, and sparse layers.
+
+Everything here operates on plain numpy arrays and is deliberately free of any
+knowledge about communicators or matrices; the functions encode the handful of
+index manipulations (counts/displacements, stable uniques, even partitions)
+that MPI-style code needs constantly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.errors import ValidationError
+
+INDEX_DTYPE = np.int64
+
+
+def as_index_array(values: Iterable[int]) -> np.ndarray:
+    """Return ``values`` as a contiguous int64 array (empty allowed)."""
+    arr = np.asarray(values, dtype=INDEX_DTYPE)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    return np.ascontiguousarray(arr)
+
+
+def concatenate_or_empty(arrays: Sequence[np.ndarray], dtype=INDEX_DTYPE) -> np.ndarray:
+    """Concatenate arrays, returning a typed empty array when the list is empty."""
+    arrays = [np.asarray(a) for a in arrays if np.asarray(a).size]
+    if not arrays:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate(arrays).astype(dtype, copy=False)
+
+
+def counts_to_displs(counts: Sequence[int]) -> np.ndarray:
+    """Convert per-destination counts into exclusive-prefix displacements.
+
+    The returned array has ``len(counts) + 1`` entries so that the data for
+    destination ``i`` occupies ``buf[displs[i]:displs[i + 1]]`` — the same
+    convention as MPI's ``sdispls``/``rdispls`` plus a trailing total.
+    """
+    counts = np.asarray(counts, dtype=INDEX_DTYPE)
+    if counts.size and counts.min() < 0:
+        raise ValidationError("counts must be non-negative")
+    displs = np.zeros(counts.size + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=displs[1:])
+    return displs
+
+
+def displs_to_counts(displs: Sequence[int]) -> np.ndarray:
+    """Convert an exclusive-prefix displacement array back into counts."""
+    displs = np.asarray(displs, dtype=INDEX_DTYPE)
+    if displs.size == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    counts = np.diff(displs)
+    if counts.size and counts.min() < 0:
+        raise ValidationError("displacements must be non-decreasing")
+    return counts
+
+
+def invert_permutation(perm: Sequence[int]) -> np.ndarray:
+    """Return the inverse of a permutation given as an index array."""
+    perm = np.asarray(perm, dtype=INDEX_DTYPE)
+    n = perm.size
+    if n and (perm.min() < 0 or perm.max() >= n):
+        raise ValidationError("not a permutation: entries out of range")
+    inverse = np.empty(n, dtype=INDEX_DTYPE)
+    inverse[perm] = np.arange(n, dtype=INDEX_DTYPE)
+    if n and not np.array_equal(np.sort(perm), np.arange(n)):
+        raise ValidationError("not a permutation: repeated entries")
+    return inverse
+
+
+def partition_evenly(total: int, parts: int) -> np.ndarray:
+    """Split ``total`` items into ``parts`` contiguous chunks as evenly as possible.
+
+    Returns an array of ``parts + 1`` offsets.  The first ``total % parts``
+    chunks receive one extra item, matching the row-partitioning convention
+    used by Hypre's ``IJMatrix`` interface.
+    """
+    if parts <= 0:
+        raise ValidationError(f"parts must be > 0, got {parts}")
+    if total < 0:
+        raise ValidationError(f"total must be >= 0, got {total}")
+    base = total // parts
+    extra = total % parts
+    sizes = np.full(parts, base, dtype=INDEX_DTYPE)
+    sizes[:extra] += 1
+    offsets = np.zeros(parts + 1, dtype=INDEX_DTYPE)
+    np.cumsum(sizes, out=offsets[1:])
+    return offsets
+
+
+def stable_unique(values: Sequence[int]) -> np.ndarray:
+    """Return unique values preserving first-occurrence order.
+
+    ``np.unique`` sorts; communication code frequently needs the *stable*
+    variant so that send buffers keep the order the application packed them in.
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return arr.astype(INDEX_DTYPE, copy=False)
+    _, first_index = np.unique(arr, return_index=True)
+    return arr[np.sort(first_index)].astype(INDEX_DTYPE, copy=False)

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of the package with a single ``except`` clause
+while still letting programming errors (``TypeError`` from numpy, etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape, or structure)."""
+
+
+class CommunicationError(ReproError, RuntimeError):
+    """The simulated MPI runtime detected an illegal communication.
+
+    Examples: posting a receive that is never matched, waiting on an inactive
+    persistent request, message size mismatch between sender and receiver.
+    """
+
+
+class PlanError(ReproError, RuntimeError):
+    """A collective plan is internally inconsistent.
+
+    Raised when a planner produces (or is given) a phase plan whose messages do
+    not conserve payload, reference ranks outside the communicator, or violate
+    the aggregation invariants described in DESIGN.md.
+    """
+
+
+class TopologyError(ReproError, ValueError):
+    """A machine description or rank mapping is inconsistent."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """An AMG setup or solve failed (singular level, empty coarse grid, ...)."""

@@ -1,0 +1,57 @@
+"""Wall-clock timing helpers.
+
+The paper times 1000 ``MPI_Start``/``MPI_Wait`` pairs, repeats each measurement
+three times, and keeps the minimum average.  :class:`Timer` implements that
+min-of-averages protocol for the parts of this library whose wall-clock cost is
+meaningful in pure Python (planning, setup); modeled communication times come
+from :mod:`repro.perfmodel` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class WallClock:
+    """Monotonic wall clock with an injectable time source (for tests)."""
+
+    def __init__(self, source: Callable[[], float] | None = None):
+        self._source = source or time.perf_counter
+
+    def now(self) -> float:
+        """Return the current time in seconds."""
+        return self._source()
+
+
+@dataclass
+class Timer:
+    """Min-of-averages repetition timer mirroring the paper's protocol.
+
+    ``measure`` runs ``fn`` ``iterations`` times per trial, for ``trials``
+    trials, and returns the minimum over trials of the average per-call time.
+    """
+
+    iterations: int = 1000
+    trials: int = 3
+    clock: WallClock = field(default_factory=WallClock)
+
+    def measure(self, fn: Callable[[], None]) -> float:
+        """Return the minimum average per-iteration time of ``fn`` in seconds."""
+        if self.iterations <= 0 or self.trials <= 0:
+            raise ValueError("iterations and trials must be positive")
+        best = float("inf")
+        for _ in range(self.trials):
+            start = self.clock.now()
+            for _ in range(self.iterations):
+                fn()
+            elapsed = self.clock.now() - start
+            best = min(best, elapsed / self.iterations)
+        return best
+
+    def measure_once(self, fn: Callable[[], None]) -> float:
+        """Time a single call to ``fn`` (used for setup/initialisation costs)."""
+        start = self.clock.now()
+        fn()
+        return self.clock.now() - start

@@ -1,0 +1,158 @@
+"""Unit tests for the plan data structures and their validation."""
+
+import pytest
+
+from repro.collectives.plan import (
+    CollectivePlan,
+    Phase,
+    PlannedMessage,
+    Slot,
+    Variant,
+)
+from repro.collectives.planner import plan_full, plan_partial, plan_standard
+from repro.pattern.builders import pattern_from_edges
+from repro.perfmodel.postal import PostalModel
+from repro.topology.presets import paper_mapping
+from repro.utils.errors import PlanError
+
+
+@pytest.fixture
+def mapping():
+    return paper_mapping(8, ranks_per_node=4)
+
+
+@pytest.fixture
+def cross_region_pattern():
+    """Two ranks in region 0 each sending to two ranks in region 1, plus a
+    local message, mirroring the paper's Example 2.1 in miniature."""
+    return pattern_from_edges(8, [
+        (0, 4, [100, 101]),
+        (0, 5, [100]),          # item 100 duplicated across destinations
+        (1, 5, [110]),
+        (1, 2, [111]),          # fully local message
+    ])
+
+
+class TestPlannedMessage:
+    def test_payload_defaults_to_slots(self):
+        message = PlannedMessage(phase=Phase.DIRECT, src=0, dest=1,
+                                 slots=[Slot(0, 7, 1), Slot(0, 8, 1)])
+        assert message.payload_count() == 2
+        assert message.nbytes(8) == 16
+
+    def test_explicit_payload_keys(self):
+        message = PlannedMessage(phase=Phase.GLOBAL, src=0, dest=4,
+                                 slots=[Slot(0, 7, 4), Slot(0, 7, 5)],
+                                 payload_keys=[(0, 7)])
+        assert message.payload_count() == 1
+
+    def test_self_message_rejected(self):
+        with pytest.raises(PlanError):
+            PlannedMessage(phase=Phase.DIRECT, src=2, dest=2, slots=[Slot(2, 1, 2)])
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(PlanError):
+            PlannedMessage(phase=Phase.DIRECT, src=0, dest=1, slots=[])
+
+
+class TestPlanAccessors:
+    def test_messages_from_and_to(self, cross_region_pattern, mapping):
+        plan = plan_standard(cross_region_pattern, mapping)
+        assert {m.dest for m in plan.messages_from(0)} == {4, 5}
+        assert {m.src for m in plan.messages_to(5)} == {0, 1}
+        assert plan.n_messages == 4
+
+    def test_statistics_sender_side(self, cross_region_pattern, mapping):
+        stats = plan_standard(cross_region_pattern, mapping).statistics()
+        assert stats.global_messages[0] == 2
+        assert stats.local_messages[1] == 1
+        assert stats.global_bytes[0] == 3 * 8
+
+    def test_describe_mentions_variant(self, cross_region_pattern, mapping):
+        assert "standard" in plan_standard(cross_region_pattern, mapping).describe()
+
+    def test_max_global_message_bytes(self, cross_region_pattern, mapping):
+        plan = plan_partial(cross_region_pattern, mapping)
+        assert plan.max_global_message_bytes() > 0
+
+    def test_item_bytes_taken_from_pattern(self, mapping):
+        pattern = pattern_from_edges(8, [(0, 4, [1])], item_bytes=4)
+        plan = plan_standard(pattern, mapping)
+        assert plan.statistics().global_bytes[0] == 4
+
+
+class TestPlanValidation:
+    def test_all_variants_validate(self, cross_region_pattern, mapping):
+        for plan in (plan_standard(cross_region_pattern, mapping),
+                     plan_partial(cross_region_pattern, mapping),
+                     plan_full(cross_region_pattern, mapping)):
+            plan.validate()
+
+    def test_missing_delivery_detected(self, cross_region_pattern, mapping):
+        plan = plan_standard(cross_region_pattern, mapping)
+        plan.phases[Phase.DIRECT].pop()   # drop one message
+        with pytest.raises(PlanError, match="misses"):
+            plan.validate()
+
+    def test_spurious_delivery_detected(self, cross_region_pattern, mapping):
+        plan = plan_standard(cross_region_pattern, mapping)
+        plan.phases[Phase.DIRECT].append(
+            PlannedMessage(phase=Phase.DIRECT, src=2, dest=3, slots=[Slot(2, 999, 3)]))
+        with pytest.raises(PlanError, match="spurious"):
+            plan.validate()
+
+    def test_duplicate_delivery_detected(self, cross_region_pattern, mapping):
+        plan = plan_standard(cross_region_pattern, mapping)
+        plan.phases[Phase.DIRECT].append(
+            PlannedMessage(phase=Phase.DIRECT, src=1, dest=2, slots=[Slot(1, 111, 2)]))
+        with pytest.raises(PlanError, match="more than once"):
+            plan.validate()
+
+    def test_global_phase_must_cross_regions(self, cross_region_pattern, mapping):
+        plan = plan_partial(cross_region_pattern, mapping)
+        plan.phases[Phase.GLOBAL].append(
+            PlannedMessage(phase=Phase.GLOBAL, src=2, dest=3, slots=[Slot(2, 5, 3)]))
+        with pytest.raises(PlanError, match="stays"):
+            plan.validate()
+
+    def test_local_phase_must_stay_in_region(self, cross_region_pattern, mapping):
+        plan = plan_partial(cross_region_pattern, mapping)
+        plan.phases[Phase.LOCAL].append(
+            PlannedMessage(phase=Phase.LOCAL, src=2, dest=6, slots=[Slot(2, 5, 6)]))
+        with pytest.raises(PlanError, match="crosses"):
+            plan.validate()
+
+    def test_terminal_slot_destination_checked(self, cross_region_pattern, mapping):
+        plan = plan_standard(cross_region_pattern, mapping)
+        plan.phases[Phase.DIRECT].append(
+            PlannedMessage(phase=Phase.DIRECT, src=2, dest=3, slots=[Slot(2, 5, 7)]))
+        with pytest.raises(PlanError, match="bound for"):
+            plan.validate()
+
+
+class TestModeledTime:
+    def test_standard_time_is_single_phase(self, cross_region_pattern, mapping):
+        model = PostalModel(alpha=1e-6, beta=0.0)
+        plan = plan_standard(cross_region_pattern, mapping)
+        # Worst sender (rank 0) posts two messages.
+        assert plan.modeled_time(model) == pytest.approx(2e-6)
+
+    def test_aggregated_time_reflects_phase_structure(self, cross_region_pattern, mapping):
+        model = PostalModel(alpha=1e-6, beta=0.0)
+        plan = plan_partial(cross_region_pattern, mapping)
+        time = plan.modeled_time(model)
+        # max(l, s+g) + r with at least one message in s, g and r.
+        assert time >= 2e-6
+        assert time <= 6e-6
+
+    def test_empty_pattern_costs_nothing(self, mapping):
+        pattern = pattern_from_edges(8, [])
+        model = PostalModel()
+        for builder in (plan_standard, plan_partial, plan_full):
+            assert builder(pattern, mapping).modeled_time(model) == 0.0
+
+    def test_setup_costs_are_per_process_maxima(self, cross_region_pattern, mapping):
+        plan = plan_partial(cross_region_pattern, mapping)
+        n_messages, slot_bytes = plan.setup_costs()
+        assert 0 < n_messages <= plan.n_messages
+        assert slot_bytes > 0

@@ -1,0 +1,175 @@
+"""Tests of the experiment harness at smoke scale (shapes, not absolute numbers)."""
+
+import pytest
+
+from repro.collectives.plan import Variant
+from repro.experiments.ablation import run_balance_ablation, run_selection_ablation
+from repro.experiments.config import ExperimentConfig, ExperimentContext
+from repro.experiments.crossover import run_crossover
+from repro.experiments.graph_creation import run_graph_creation
+from repro.experiments.per_level import run_per_level
+from repro.experiments.runner import render_report, run_all_experiments
+from repro.experiments.scaling import run_strong_scaling, run_weak_scaling
+
+
+@pytest.fixture(scope="module")
+def smoke_config():
+    return ExperimentConfig.smoke()
+
+
+@pytest.fixture(scope="module")
+def smoke_context(smoke_config):
+    return ExperimentContext.build(smoke_config)
+
+
+class TestConfig:
+    def test_reduced_and_paper_configs(self):
+        reduced = ExperimentConfig.reduced()
+        paper = ExperimentConfig.paper()
+        assert paper.n_rows == 524288 and paper.n_ranks == 2048
+        assert reduced.n_rows < paper.n_rows
+
+    def test_from_environment_default_is_reduced(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert ExperimentConfig.from_environment().n_rows == ExperimentConfig.reduced().n_rows
+
+    def test_from_environment_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert ExperimentConfig.from_environment().n_rows == 524288
+
+    def test_with_ranks(self, smoke_config):
+        assert smoke_config.with_ranks(128).n_ranks == 128
+
+    def test_context_profiles_cached(self, smoke_context):
+        assert smoke_context.profiles is smoke_context.profiles
+
+    def test_context_redistribution(self, smoke_context):
+        scaled = smoke_context.redistributed(16)
+        assert scaled.config.n_ranks == 16
+        assert scaled.hierarchy.levels[0].matrix.n_ranks == 16
+
+
+class TestGraphCreation:
+    def test_series_cover_all_scales(self, smoke_config):
+        result = run_graph_creation(smoke_config)
+        assert result.process_counts == list(smoke_config.graph_creation_ranks)
+        assert set(result.costs) == {"spectrum", "mvapich"}
+        assert all(len(v) == len(result.process_counts) for v in result.costs.values())
+
+    def test_costs_grow_with_scale(self, smoke_config):
+        result = run_graph_creation(smoke_config)
+        for series in result.costs.values():
+            assert series[-1] > series[0]
+
+    def test_table_rendering(self, smoke_config):
+        text = run_graph_creation(smoke_config).to_table()
+        assert "Figure 6" in text and "mvapich" in text
+
+
+class TestCrossover:
+    def test_totals_linear_in_iterations(self, smoke_context):
+        result = run_crossover(smoke_context)
+        for variant, totals in result.totals.items():
+            deltas = [b - a for a, b in zip(totals, totals[1:])]
+            assert all(abs(d - deltas[0]) < 1e-12 for d in deltas)
+
+    def test_optimized_variants_have_crossovers(self, smoke_context):
+        result = run_crossover(smoke_context)
+        assert result.crossovers[Variant.PARTIAL] is not None
+        assert result.crossovers[Variant.FULL] is not None
+        assert result.crossovers[Variant.FULL] <= result.crossovers[Variant.PARTIAL]
+
+    def test_partial_init_higher_than_full(self, smoke_context):
+        result = run_crossover(smoke_context)
+        assert result.init_costs[Variant.PARTIAL] > result.init_costs[Variant.FULL]
+        assert result.init_costs[Variant.STANDARD] < result.init_costs[Variant.FULL]
+
+    def test_table_mentions_crossovers(self, smoke_context):
+        assert "crossover" in run_crossover(smoke_context).to_table()
+
+
+class TestPerLevel:
+    def test_series_lengths_match_levels(self, smoke_context):
+        result = run_per_level(smoke_context)
+        n_levels = smoke_context.hierarchy.n_levels
+        assert len(result.levels) == n_levels
+        for series in (result.local_messages, result.global_messages,
+                       result.global_bytes, result.times):
+            for values in series.values():
+                assert len(values) == n_levels
+
+    def test_optimized_global_counts_never_worse(self, smoke_context):
+        result = run_per_level(smoke_context)
+        for std, opt in zip(result.global_messages["standard_global"],
+                            result.global_messages["optimized_global"]):
+            assert opt <= max(std, 1)
+
+    def test_dedup_only_shrinks_messages(self, smoke_context):
+        result = run_per_level(smoke_context)
+        for partial, full in zip(result.global_bytes["partially_optimized"],
+                                 result.global_bytes["fully_optimized"]):
+            assert full <= partial
+        assert result.max_dedup_saving() >= 0.0
+
+    def test_unoptimized_neighbor_equals_hypre(self, smoke_context):
+        result = run_per_level(smoke_context)
+        assert result.times["unoptimized_neighbor"] == result.times["standard_hypre"]
+
+    def test_tables_render(self, smoke_context):
+        result = run_per_level(smoke_context)
+        for table in (result.table_fig8(), result.table_fig9(),
+                      result.table_fig10(), result.table_fig11()):
+            assert "level" in table
+
+
+class TestScaling:
+    def test_strong_scaling_series(self, smoke_context):
+        result = run_strong_scaling(smoke_context)
+        assert result.mode == "strong"
+        assert len(result.times["standard_hypre"]) == len(result.process_counts)
+        speedups = result.speedup("partially_optimized_neighbor")
+        assert all(s >= 0.999 for s in speedups)
+        assert result.speedup_at_largest_scale("fully_optimized_neighbor") >= \
+            result.speedup_at_largest_scale("partially_optimized_neighbor") - 1e-9
+
+    def test_weak_scaling_series(self, smoke_config):
+        result = run_weak_scaling(smoke_config, process_counts=(16, 32),
+                                  rows_per_rank=64)
+        assert result.mode == "weak"
+        assert len(result.times["fully_optimized_neighbor"]) == 2
+        assert all(s >= 0.999 for s in result.speedup("fully_optimized_neighbor"))
+
+    def test_unknown_protocol_rejected(self, smoke_context):
+        result = run_strong_scaling(smoke_context)
+        with pytest.raises(Exception):
+            result.speedup("nonexistent")
+
+    def test_best_per_level_fallback_never_hurts(self, smoke_context):
+        with_fallback = run_strong_scaling(smoke_context, best_per_level=True)
+        without = run_strong_scaling(smoke_context, best_per_level=False)
+        for a, b in zip(with_fallback.times["partially_optimized_neighbor"],
+                        without.times["partially_optimized_neighbor"]):
+            assert a <= b + 1e-15
+
+
+class TestAblationsAndRunner:
+    def test_selection_ablation(self, smoke_context):
+        result = run_selection_ablation(smoke_context)
+        assert len(result.model_choice) == smoke_context.hierarchy.n_levels
+        assert result.policy_times["oracle"] <= \
+            result.policy_times["model_selection"] + 1e-12
+        assert 0.0 <= result.agreement <= 1.0
+        assert "Ablation" in result.to_table()
+
+    def test_balance_ablation(self, smoke_context):
+        result = run_balance_ablation(smoke_context)
+        assert set(result.strategies) == {"round_robin", "bytes"}
+        by_name = dict(zip(result.strategies, result.max_global_bytes))
+        assert by_name["bytes"] <= by_name["round_robin"]
+
+    def test_run_all_and_render(self, smoke_config):
+        results = run_all_experiments(smoke_config, include_weak_scaling=False,
+                                      include_ablations=False)
+        assert "fig06_graph_creation" in results
+        report = render_report(results)
+        assert "Figure 6" in report and "Figure 12" in report

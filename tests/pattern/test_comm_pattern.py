@@ -1,0 +1,170 @@
+"""Unit tests for CommPattern and its builders."""
+
+import numpy as np
+import pytest
+
+from repro.pattern.builders import (
+    halo_exchange_pattern,
+    neighbor_lists,
+    pattern_from_edges,
+    random_pattern,
+)
+from repro.pattern.comm_pattern import CommPattern
+from repro.pattern.validation import patterns_equivalent, validate_pattern
+from repro.utils.errors import ValidationError
+
+
+class TestCommPatternBasics:
+    def test_send_and_recv_views_are_transposes(self):
+        pattern = pattern_from_edges(4, [(0, 1, [10, 11]), (2, 1, [12]), (0, 3, [13])])
+        assert pattern.send_ranks(0) == [1, 3]
+        assert pattern.recv_ranks(1) == [0, 2]
+        assert pattern.recv_items(1, 0).tolist() == [10, 11]
+        assert pattern.send_items(2, 1).tolist() == [12]
+
+    def test_empty_edges_dropped(self):
+        pattern = CommPattern(3, {0: {1: [], 2: [5]}})
+        assert pattern.send_ranks(0) == [2]
+        assert pattern.n_messages == 1
+
+    def test_missing_edge_returns_empty(self):
+        pattern = pattern_from_edges(3, [(0, 1, [1])])
+        assert pattern.send_items(1, 2).size == 0
+        assert pattern.recv_items(0, 2).size == 0
+
+    def test_counts(self):
+        pattern = pattern_from_edges(4, [(0, 1, [1, 2]), (1, 0, [3])], item_bytes=4)
+        assert pattern.n_messages == 2
+        assert pattern.total_items == 3
+        assert pattern.total_bytes == 12
+        assert pattern.message_size(0, 1) == 8
+
+    def test_out_of_range_ranks_rejected(self):
+        with pytest.raises(ValidationError):
+            CommPattern(2, {0: {5: [1]}})
+        with pytest.raises(ValidationError):
+            CommPattern(2, {7: {0: [1]}})
+
+    def test_transpose_twice_is_identity(self):
+        pattern = random_pattern(12, seed=4)
+        assert patterns_equivalent(pattern.transpose().transpose(), pattern)
+
+    def test_active_ranks(self):
+        pattern = pattern_from_edges(6, [(0, 3, [1])])
+        assert pattern.active_ranks().tolist() == [0, 3]
+
+    def test_restrict_to(self):
+        pattern = pattern_from_edges(4, [(0, 1, [1]), (0, 2, [2]), (2, 3, [3])])
+        restricted = pattern.restrict_to([0, 1, 3])
+        assert restricted.n_messages == 1
+        assert restricted.send_items(0, 1).tolist() == [1]
+
+    def test_equality(self):
+        a = pattern_from_edges(3, [(0, 1, [1, 2])])
+        b = pattern_from_edges(3, [(0, 1, [1, 2])])
+        c = pattern_from_edges(3, [(0, 1, [2, 1])])
+        assert a == b
+        assert a != c  # order matters for strict equality
+        assert patterns_equivalent(a, c)  # but not for equivalence
+
+    def test_edges_deterministic_order(self):
+        pattern = pattern_from_edges(4, [(2, 0, [5]), (0, 3, [1]), (0, 1, [2])])
+        edges = [(s, d) for s, d, _ in pattern.edges()]
+        assert edges == sorted(edges)
+
+    def test_repeated_edges_concatenate(self):
+        pattern = pattern_from_edges(3, [(0, 1, [1]), (0, 1, [2])])
+        assert pattern.send_items(0, 1).tolist() == [1, 2]
+
+
+class TestValidation:
+    def test_validate_accepts_good_pattern(self, small_pattern):
+        validate_pattern(small_pattern)
+
+    def test_validate_rejects_duplicate_items_when_requested(self):
+        pattern = pattern_from_edges(2, [(0, 1, [3, 3])])
+        validate_pattern(pattern)  # allowed by default
+        with pytest.raises(ValidationError):
+            validate_pattern(pattern, require_unique_items=True)
+
+    def test_validate_rejects_self_messages_when_requested(self):
+        pattern = pattern_from_edges(2, [(0, 0, [1])])
+        with pytest.raises(ValidationError):
+            validate_pattern(pattern, allow_self_messages=False)
+
+
+class TestRandomPattern:
+    def test_deterministic_for_seed(self):
+        assert patterns_equivalent(random_pattern(16, seed=9), random_pattern(16, seed=9))
+
+    def test_different_seeds_differ(self):
+        a, b = random_pattern(16, seed=1), random_pattern(16, seed=2)
+        assert not patterns_equivalent(a, b)
+
+    def test_no_self_messages(self):
+        pattern = random_pattern(16, seed=3)
+        assert all(src != dest for src, dest, _ in pattern.edges())
+
+    def test_items_owned_by_sender(self):
+        pattern = random_pattern(8, items_per_rank=16, seed=5)
+        for src, _, items in pattern.edges():
+            assert np.all(items // 16 == src)
+
+    def test_duplicate_fraction_controls_sharing(self):
+        """Higher duplicate_fraction -> larger share of transfers that are duplicates
+        (i.e. more payload the deduplicating collective can remove)."""
+        def duplicate_share(fraction):
+            pattern = random_pattern(8, duplicate_fraction=fraction, seed=6)
+            transfers = 0
+            duplicates = 0
+            for src in range(8):
+                seen = {}
+                for dest in pattern.send_ranks(src):
+                    for item in pattern.send_items(src, dest).tolist():
+                        seen.setdefault(item, set()).add(dest)
+                        transfers += 1
+                duplicates += sum(len(dests) - 1 for dests in seen.values())
+            return duplicates / transfers
+
+        assert duplicate_share(0.9) > duplicate_share(0.0)
+
+    def test_single_rank_pattern_is_empty(self):
+        assert random_pattern(1, seed=0).n_messages == 0
+
+    def test_invalid_duplicate_fraction(self):
+        with pytest.raises(ValidationError):
+            random_pattern(4, duplicate_fraction=1.5)
+
+
+class TestHaloPattern:
+    def test_interior_rank_has_four_neighbors(self):
+        pattern = halo_exchange_pattern((4, 4), points_per_cell=8)
+        interior = 1 * 4 + 1
+        assert len(pattern.send_ranks(interior)) == 4
+
+    def test_corner_rank_has_two_neighbors(self):
+        pattern = halo_exchange_pattern((4, 4), points_per_cell=8)
+        assert len(pattern.send_ranks(0)) == 2
+
+    def test_periodic_gives_four_neighbors_everywhere(self):
+        pattern = halo_exchange_pattern((4, 4), points_per_cell=8, periodic=True)
+        assert all(len(pattern.send_ranks(r)) == 4 for r in range(16))
+
+    def test_message_sizes_uniform(self):
+        pattern = halo_exchange_pattern((3, 3), points_per_cell=10, width=2)
+        sizes = {items.size for _, _, items in pattern.edges()}
+        assert sizes == {20}
+
+    def test_symmetry(self):
+        pattern = halo_exchange_pattern((4, 4))
+        assert patterns_equivalent(pattern.transpose().transpose(), pattern)
+        for src, dest, _ in pattern.edges():
+            assert pattern.send_items(dest, src).size > 0  # symmetric neighbours
+
+
+class TestNeighborLists:
+    def test_matches_pattern_views(self, small_pattern):
+        for rank in range(small_pattern.n_ranks):
+            sources, destinations = neighbor_lists(small_pattern, rank)
+            assert sources.tolist() == small_pattern.recv_ranks(rank)
+            assert destinations.tolist() == small_pattern.send_ranks(rank)

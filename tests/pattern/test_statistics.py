@@ -1,0 +1,111 @@
+"""Unit tests for pattern statistics (the Figures 8-10 quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.pattern.builders import halo_exchange_pattern, pattern_from_edges
+from repro.pattern.statistics import (
+    PatternStatistics,
+    average_neighbors,
+    locality_byte_counts,
+    locality_message_counts,
+    pattern_statistics,
+)
+from repro.topology.machine import Locality
+from repro.topology.presets import paper_mapping
+from repro.utils.errors import ValidationError
+
+
+class TestPatternStatisticsContainer:
+    def test_add_message_local_vs_global(self):
+        stats = PatternStatistics(n_ranks=4)
+        stats.add_message(0, True, 100)
+        stats.add_message(0, False, 40)
+        stats.add_message(1, False, 60)
+        assert stats.max_local_messages == 1
+        assert stats.max_global_messages == 1
+        assert stats.total_global_messages == 2
+        assert stats.max_global_bytes == 60
+        assert stats.total_global_bytes == 100
+
+    def test_merge(self):
+        a = PatternStatistics(n_ranks=2)
+        a.add_message(0, True, 8)
+        b = PatternStatistics(n_ranks=2)
+        b.add_message(0, True, 8)
+        b.add_message(1, False, 16)
+        merged = a.merged_with(b)
+        assert merged.local_messages.tolist() == [2, 0]
+        assert merged.global_bytes.tolist() == [0, 16]
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            PatternStatistics(n_ranks=2).merged_with(PatternStatistics(n_ranks=3))
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValidationError):
+            PatternStatistics(n_ranks=2).add_message(5, True, 1)
+
+    def test_as_dict_keys(self):
+        keys = PatternStatistics(n_ranks=1).as_dict().keys()
+        assert "max_global_messages" in keys and "total_global_bytes" in keys
+
+    def test_empty_statistics(self):
+        stats = PatternStatistics(n_ranks=3)
+        assert stats.max_local_messages == 0
+        assert stats.max_global_bytes == 0
+
+
+class TestPatternStatisticsFromPattern:
+    def test_known_pattern(self):
+        mapping = paper_mapping(8, ranks_per_node=4)
+        # Rank 0: one local message (to 1), two global (to 4 and 5).
+        pattern = pattern_from_edges(8, [(0, 1, [1, 2]), (0, 4, [3]), (0, 5, [4, 5, 6])],
+                                     item_bytes=8)
+        stats = pattern_statistics(pattern, mapping)
+        assert stats.local_messages[0] == 1
+        assert stats.global_messages[0] == 2
+        assert stats.local_bytes[0] == 16
+        assert stats.global_bytes[0] == 32
+
+    def test_self_messages_ignored(self):
+        mapping = paper_mapping(4, ranks_per_node=4)
+        pattern = pattern_from_edges(4, [(1, 1, [7])])
+        stats = pattern_statistics(pattern, mapping)
+        assert stats.total_local_messages == 0
+
+    def test_mapping_must_cover_pattern(self):
+        mapping = paper_mapping(4, ranks_per_node=4)
+        pattern = pattern_from_edges(8, [(0, 7, [1])])
+        with pytest.raises(ValidationError):
+            pattern_statistics(pattern, mapping)
+
+    def test_halo_pattern_statistics(self):
+        # 16 ranks on one node: every halo message is intra-region.
+        mapping = paper_mapping(16, ranks_per_node=16)
+        pattern = halo_exchange_pattern((4, 4), points_per_cell=8)
+        stats = pattern_statistics(pattern, mapping)
+        assert stats.total_global_messages == 0
+        assert stats.max_local_messages == 4
+
+
+class TestLocalityBreakdowns:
+    def test_locality_message_counts(self):
+        mapping = paper_mapping(32, ranks_per_node=16)
+        pattern = pattern_from_edges(32, [(0, 1, [1]), (0, 16, [2]), (17, 0, [3])])
+        counts = locality_message_counts(pattern, mapping)
+        assert counts[Locality.INTRA_SOCKET] == 1
+        assert counts[Locality.INTER_NODE] == 2
+        assert counts[Locality.INTER_SOCKET] == 0
+
+    def test_locality_byte_counts(self):
+        mapping = paper_mapping(32, ranks_per_node=16)
+        pattern = pattern_from_edges(32, [(0, 16, [1, 2, 3])], item_bytes=8)
+        counts = locality_byte_counts(pattern, mapping)
+        assert counts[Locality.INTER_NODE] == 24
+
+    def test_average_neighbors(self):
+        pattern = pattern_from_edges(4, [(0, 1, [1]), (0, 2, [2]), (1, 0, [3])])
+        assert average_neighbors(pattern) == pytest.approx((2 + 1 + 0 + 0) / 4)
+        assert average_neighbors(pattern, [0, 1]) == pytest.approx(1.5)
+        assert average_neighbors(pattern, []) == 0.0

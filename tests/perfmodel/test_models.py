@@ -1,0 +1,137 @@
+"""Unit tests for the postal, max-rate, and locality-aware cost models."""
+
+import pytest
+
+from repro.perfmodel.base import MessageCost
+from repro.perfmodel.contention import ContentionModel, QueueSearchModel
+from repro.perfmodel.locality import LocalityAwareModel, LocalityParameters
+from repro.perfmodel.maxrate import MaxRateModel
+from repro.perfmodel.postal import PostalModel
+from repro.topology.machine import Locality
+from repro.utils.errors import ValidationError
+
+
+class TestPostalModel:
+    def test_alpha_beta_form(self):
+        model = PostalModel(alpha=1e-6, beta=1e-9)
+        assert model.message_time(1000, Locality.INTER_NODE) == pytest.approx(2e-6)
+
+    def test_self_messages_free(self):
+        model = PostalModel()
+        assert model.message_time(100, Locality.SELF) == 0.0
+
+    def test_ignores_locality(self):
+        model = PostalModel()
+        assert model.message_time(64, Locality.INTRA_SOCKET) == \
+            model.message_time(64, Locality.INTER_NODE)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValidationError):
+            PostalModel(alpha=-1.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValidationError):
+            PostalModel().message_time(-1, Locality.INTER_NODE)
+
+    def test_process_time_sums_messages(self):
+        model = PostalModel(alpha=1e-6, beta=0.0)
+        msgs = [MessageCost(0, Locality.INTER_NODE)] * 5
+        assert model.process_time(msgs) == pytest.approx(5e-6)
+
+    def test_phase_time_is_max_over_processes(self):
+        model = PostalModel(alpha=1e-6, beta=0.0)
+        per_process = {0: [MessageCost(0, Locality.INTER_NODE)] * 2,
+                       1: [MessageCost(0, Locality.INTER_NODE)] * 7}
+        assert model.phase_time(per_process) == pytest.approx(7e-6)
+
+    def test_phase_time_empty(self):
+        assert PostalModel().phase_time({}) == 0.0
+
+
+class TestMaxRateModel:
+    def test_injection_cap_applies_to_inter_node(self):
+        model = MaxRateModel(alpha=0.0, beta=1e-11, beta_injection=1e-11,
+                             active_per_node=16)
+        # Effective beta = max(1e-11, 16e-11) = 16e-11.
+        assert model.message_time(1000, Locality.INTER_NODE) == pytest.approx(1.6e-7)
+
+    def test_intra_node_not_capped(self):
+        model = MaxRateModel(alpha=0.0, beta=1e-11, beta_injection=1e-11,
+                             active_per_node=16)
+        assert model.message_time(1000, Locality.INTRA_SOCKET) == pytest.approx(1e-8)
+
+    def test_single_active_process_uncapped(self):
+        model = MaxRateModel(alpha=0.0, beta=2e-11, beta_injection=1e-11,
+                             active_per_node=1)
+        assert model.effective_beta == pytest.approx(2e-11)
+
+    def test_invalid_active_per_node(self):
+        with pytest.raises(ValidationError):
+            MaxRateModel(active_per_node=0)
+
+
+class TestLocalityAwareModel:
+    def test_intra_socket_cheapest_for_small_messages(self, lassen_model):
+        small = 64
+        intra = lassen_model.message_time(small, Locality.INTRA_SOCKET)
+        inter_socket = lassen_model.message_time(small, Locality.INTER_SOCKET)
+        inter_node = lassen_model.message_time(small, Locality.INTER_NODE)
+        assert intra < inter_socket < inter_node
+
+    def test_inter_socket_worst_for_large_messages(self, lassen_model):
+        large = 4 * 1024 * 1024
+        inter_socket = lassen_model.message_time(large, Locality.INTER_SOCKET)
+        inter_node = lassen_model.message_time(large, Locality.INTER_NODE)
+        # The paper: inter-CPU large messages cost more than inter-node.
+        assert inter_socket > inter_node
+
+    def test_self_free(self, lassen_model):
+        assert lassen_model.message_time(10_000, Locality.SELF) == 0.0
+
+    def test_with_active_per_node_reduces_injection_penalty(self, lassen_model):
+        fewer = lassen_model.with_active_per_node(1)
+        many = lassen_model.with_active_per_node(64)
+        size = 1 << 20
+        assert fewer.message_time(size, Locality.INTER_NODE) <= \
+            many.message_time(size, Locality.INTER_NODE)
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ValidationError):
+            LocalityAwareModel(parameters={
+                Locality.INTRA_SOCKET: LocalityParameters(1e-6, 1e-9)})
+
+    def test_alpha_beta_accessors(self, lassen_model):
+        assert lassen_model.alpha(Locality.SELF) == 0.0
+        assert lassen_model.beta(Locality.INTER_NODE) > 0.0
+        assert lassen_model.alpha(Locality.INTER_NODE) > \
+            lassen_model.alpha(Locality.INTRA_SOCKET)
+
+    def test_describe_mentions_classes(self, lassen_model):
+        text = lassen_model.describe()
+        assert "intra_socket" in text and "inter_node" in text
+
+
+class TestCorrections:
+    def test_queue_search_adds_quadratic_term(self):
+        base = PostalModel(alpha=0.0, beta=0.0)
+        model = QueueSearchModel(base=base, queue_time=1e-6)
+        msgs = [MessageCost(0, Locality.INTER_NODE)] * 4
+        # 4 messages -> 6 pairwise queue searches.
+        assert model.process_time(msgs) == pytest.approx(6e-6)
+
+    def test_queue_search_ignores_self_messages(self):
+        base = PostalModel(alpha=0.0, beta=0.0)
+        model = QueueSearchModel(base=base, queue_time=1e-6)
+        msgs = [MessageCost(0, Locality.SELF)] * 4
+        assert model.process_time(msgs) == 0.0
+
+    def test_contention_scales_only_inter_node_bandwidth(self):
+        base = PostalModel(alpha=1e-6, beta=1e-9)
+        model = ContentionModel(base=base, factor=2.0)
+        assert model.message_time(1000, Locality.INTER_NODE) == pytest.approx(3e-6)
+        assert model.message_time(1000, Locality.INTRA_SOCKET) == \
+            base.message_time(1000, Locality.INTRA_SOCKET)
+
+    def test_contention_factor_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            ContentionModel(base=PostalModel(), factor=0.5)

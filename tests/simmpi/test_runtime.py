@@ -1,0 +1,218 @@
+"""Unit tests for the simulated MPI runtime: fabric, requests, communicators."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.comm import SimComm
+from repro.simmpi.mailbox import Envelope, MessageFabric
+from repro.simmpi.request import start_all, wait_all
+from repro.simmpi.world import SimWorld, run_spmd
+from repro.utils.errors import CommunicationError
+
+
+class TestMessageFabric:
+    def test_deliver_then_collect(self):
+        fabric = MessageFabric(2)
+        fabric.deliver(Envelope(source=0, dest=1, tag=5, context=0, payload="hi"))
+        envelope = fabric.collect(1, 0, 5, 0)
+        assert envelope.payload == "hi"
+
+    def test_fifo_per_key(self):
+        fabric = MessageFabric(2)
+        for value in ("a", "b", "c"):
+            fabric.deliver(Envelope(source=0, dest=1, tag=1, context=0, payload=value))
+        received = [fabric.collect(1, 0, 1, 0).payload for _ in range(3)]
+        assert received == ["a", "b", "c"]
+
+    def test_tags_do_not_cross_match(self):
+        fabric = MessageFabric(2)
+        fabric.deliver(Envelope(source=0, dest=1, tag=1, context=0, payload="t1"))
+        fabric.deliver(Envelope(source=0, dest=1, tag=2, context=0, payload="t2"))
+        assert fabric.collect(1, 0, 2, 0).payload == "t2"
+
+    def test_contexts_do_not_cross_match(self):
+        fabric = MessageFabric(2)
+        fabric.deliver(Envelope(source=0, dest=1, tag=1, context=7, payload="ctx7"))
+        assert fabric.try_collect(1, 0, 1, 0) is None
+        assert fabric.try_collect(1, 0, 1, 7).payload == "ctx7"
+
+    def test_timeout_raises(self):
+        fabric = MessageFabric(2, timeout=0.1)
+        with pytest.raises(CommunicationError, match="timed out"):
+            fabric.collect(0, 1, 0, 0)
+
+    def test_rank_range_checked(self):
+        fabric = MessageFabric(2)
+        with pytest.raises(CommunicationError):
+            fabric.deliver(Envelope(source=0, dest=5, tag=0, context=0, payload=None))
+
+    def test_abort_wakes_receivers(self):
+        fabric = MessageFabric(2, timeout=5.0)
+        fabric.abort("test failure")
+        with pytest.raises(CommunicationError, match="aborted"):
+            fabric.collect(0, 1, 0, 0)
+
+    def test_pending_count(self):
+        fabric = MessageFabric(2)
+        assert fabric.pending_count() == 0
+        fabric.deliver(Envelope(source=0, dest=1, tag=0, context=0, payload=1))
+        assert fabric.pending_count() == 1
+
+    def test_envelope_nbytes(self):
+        env = Envelope(source=0, dest=1, tag=0, context=0,
+                       payload=np.zeros(10, dtype=np.float64))
+        assert env.nbytes == 80
+        assert Envelope(source=0, dest=1, tag=0, context=0, payload="x").nbytes == 0
+
+
+class TestPersistentRequests:
+    def test_persistent_roundtrip_multiple_iterations(self):
+        def program(comm):
+            peer = 1 - comm.rank
+            send_buffer = np.zeros(3)
+            recv_buffer = np.zeros(3)
+            send = comm.send_init(send_buffer, dest=peer, tag=2)
+            recv = comm.recv_init(recv_buffer, source=peer, tag=2)
+            results = []
+            for iteration in range(3):
+                send_buffer[:] = comm.rank * 10 + iteration
+                start_all([send, recv])
+                wait_all([send, recv])
+                results.append(recv_buffer.copy())
+            return results
+
+        results = run_spmd(2, program)
+        for iteration in range(3):
+            assert np.all(results[0][iteration] == 10 + iteration)
+            assert np.all(results[1][iteration] == iteration)
+
+    def test_start_twice_raises(self):
+        def program(comm):
+            if comm.rank == 0:
+                send = comm.send_init(np.zeros(1), dest=1, tag=0)
+                send.start()
+                send.start()
+            return True
+
+        with pytest.raises(CommunicationError, match="started twice"):
+            run_spmd(2, program, timeout=5)
+
+    def test_wait_without_start_raises(self):
+        def program(comm):
+            recv = comm.recv_init(np.zeros(1), source=(comm.rank + 1) % comm.size, tag=0)
+            recv.wait()
+
+        with pytest.raises(CommunicationError, match="inactive"):
+            run_spmd(2, program, timeout=5)
+
+    def test_size_mismatch_raises(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(4), dest=1, tag=0)
+            else:
+                comm.recv(np.zeros(2), source=0, tag=0)
+
+        with pytest.raises(CommunicationError, match="does not match"):
+            run_spmd(2, program, timeout=5)
+
+    def test_send_snapshots_buffer_at_start(self):
+        """Modifying the send buffer after start must not corrupt the message."""
+        def program(comm):
+            if comm.rank == 0:
+                buffer = np.full(2, 1.0)
+                send = comm.send_init(buffer, dest=1, tag=0)
+                send.start()
+                buffer[:] = 99.0
+                send.wait()
+                return None
+            out = np.zeros(2)
+            comm.recv(out, source=0, tag=0)
+            return out
+
+        results = run_spmd(2, program)
+        assert np.all(results[1] == 1.0)
+
+
+class TestCollectives:
+    def test_barrier_completes(self):
+        assert run_spmd(5, lambda comm: comm.barrier() or True) == [True] * 5
+
+    def test_allgather_obj(self):
+        results = run_spmd(4, lambda comm: comm.allgather_obj(comm.rank * 2))
+        assert all(r == [0, 2, 4, 6] for r in results)
+
+    def test_bcast_obj(self):
+        results = run_spmd(3, lambda comm: comm.bcast_obj(
+            {"value": 42} if comm.rank == 0 else None))
+        assert all(r == {"value": 42} for r in results)
+
+    def test_allreduce_sum_and_max(self):
+        sums = run_spmd(4, lambda comm: comm.allreduce(float(comm.rank)))
+        maxima = run_spmd(4, lambda comm: comm.reduce_scalar_max(float(comm.rank)))
+        assert all(s == 6.0 for s in sums)
+        assert all(m == 3.0 for m in maxima)
+
+    def test_alltoall_obj(self):
+        results = run_spmd(3, lambda comm: comm.alltoall_obj(
+            [f"{comm.rank}->{dest}" for dest in range(comm.size)]))
+        assert results[2] == ["0->2", "1->2", "2->2"]
+
+    def test_alltoall_requires_size_entries(self):
+        def program(comm):
+            comm.alltoall_obj([1])
+
+        with pytest.raises(CommunicationError):
+            run_spmd(3, program, timeout=5)
+
+
+class TestWorld:
+    def test_results_indexed_by_rank(self):
+        assert run_spmd(6, lambda comm: comm.rank ** 2) == [0, 1, 4, 9, 16, 25]
+
+    def test_rank_args(self):
+        results = run_spmd(3, lambda comm, shared, extra: (shared, extra),
+                           "common", rank_args=[("a",), ("b",), ("c",)])
+        assert results == [("common", "a"), ("common", "b"), ("common", "c")]
+
+    def test_exception_identifies_failing_rank(self):
+        def program(comm):
+            if comm.rank == 2:
+                raise ValueError("boom on rank 2")
+            comm.barrier()
+
+        with pytest.raises(CommunicationError, match="rank 2"):
+            run_spmd(4, program, timeout=5)
+
+    def test_wrong_rank_args_length(self):
+        world = SimWorld(2)
+        with pytest.raises(CommunicationError):
+            world.run(lambda comm: None, rank_args=[()])
+
+    def test_comm_dup_isolates_traffic(self):
+        def program(comm):
+            dup = comm.dup()
+            peer = 1 - comm.rank
+            # Same tag on both communicators: contexts must keep them apart.
+            comm.send_obj(f"base-{comm.rank}", peer, tag=3)
+            dup.send_obj(f"dup-{comm.rank}", peer, tag=3)
+            base_msg = comm.recv_obj(peer, tag=3)
+            dup_msg = dup.recv_obj(peer, tag=3)
+            return base_msg, dup_msg
+
+        results = run_spmd(2, program)
+        assert results[0] == ("base-1", "dup-1")
+        assert results[1] == ("base-0", "dup-0")
+
+    def test_invalid_peer_rejected(self):
+        def program(comm):
+            comm.send(np.zeros(1), dest=99)
+
+        with pytest.raises(CommunicationError):
+            run_spmd(2, program, timeout=5)
+
+    def test_internal_tag_range_protected(self):
+        def program(comm):
+            comm.send_init(np.zeros(1), dest=0, tag=1 << 21)
+
+        with pytest.raises(CommunicationError, match="tags"):
+            run_spmd(2, program, timeout=5)

@@ -1,0 +1,145 @@
+"""Unit tests for distributed-graph communicators and the traffic profiler."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.profiler import TrafficProfiler
+from repro.simmpi.topo_comm import dist_graph_create_adjacent
+from repro.simmpi.world import SimWorld, run_spmd
+from repro.topology.machine import Locality
+from repro.topology.presets import paper_mapping
+from repro.utils.errors import CommunicationError
+
+
+class TestDistGraphCreateAdjacent:
+    def test_ring_graph(self):
+        def program(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            graph = dist_graph_create_adjacent(comm, sources=[left],
+                                               destinations=[right])
+            return graph.indegree, graph.outdegree, graph.rank
+
+        results = run_spmd(4, program)
+        assert all(r == (1, 1, rank) for rank, r in enumerate(results))
+
+    def test_neighbors_returned_in_call_order(self):
+        def program(comm):
+            others = [r for r in range(comm.size) if r != comm.rank]
+            graph = dist_graph_create_adjacent(comm, sources=others[::-1],
+                                               destinations=others)
+            sources, destinations = graph.neighbors()
+            return sources.tolist(), destinations.tolist()
+
+        results = run_spmd(3, program)
+        assert results[0] == ([2, 1], [1, 2])
+
+    def test_inconsistent_edges_detected(self):
+        def program(comm):
+            # Rank 0 claims to receive from rank 1, but rank 1 sends nothing.
+            sources = [1] if comm.rank == 0 else []
+            destinations = []
+            return dist_graph_create_adjacent(comm, sources, destinations)
+
+        with pytest.raises(CommunicationError, match="does not list"):
+            run_spmd(2, program, timeout=5)
+
+    def test_validation_can_be_skipped(self):
+        def program(comm):
+            sources = [1] if comm.rank == 0 else []
+            graph = dist_graph_create_adjacent(comm, sources, [], validate=False)
+            return graph.indegree
+
+        assert run_spmd(2, program) == [1, 0]
+
+    def test_out_of_range_neighbor_rejected(self):
+        def program(comm):
+            dist_graph_create_adjacent(comm, [99], [])
+
+        with pytest.raises(CommunicationError):
+            run_spmd(2, program, timeout=5)
+
+    def test_weights_must_match_lengths(self):
+        def program(comm):
+            dist_graph_create_adjacent(comm, [0], [0], sourceweights=[1, 2])
+
+        with pytest.raises(CommunicationError):
+            run_spmd(2, program, timeout=5)
+
+    def test_graph_comm_uses_duplicated_context(self):
+        def program(comm):
+            graph = dist_graph_create_adjacent(comm, [], [])
+            return graph.comm.context != comm.context
+
+        assert all(run_spmd(2, program))
+
+
+class TestTrafficProfiler:
+    def test_records_locality_and_bytes(self):
+        mapping = paper_mapping(8, ranks_per_node=4)
+        profiler = TrafficProfiler(mapping)
+        world = SimWorld(8, profiler=profiler)
+
+        def program(comm):
+            # Every rank sends 4 float64 to the next rank (32 bytes each).
+            dest = (comm.rank + 1) % comm.size
+            comm.send(np.zeros(4), dest=dest, tag=1)
+            comm.recv(np.zeros(4), source=(comm.rank - 1) % comm.size, tag=1)
+
+        world.run(program)
+        total = profiler.total()
+        assert total.message_count == 8
+        assert total.byte_count == 8 * 32
+        by_locality = profiler.by_locality()
+        # Ring over two nodes of four ranks: 6 intra-node hops, 2 inter-node.
+        assert by_locality[Locality.INTRA_SOCKET].message_count == 6
+        assert by_locality[Locality.INTER_NODE].message_count == 2
+
+    def test_per_rank_and_maxima(self):
+        mapping = paper_mapping(4, ranks_per_node=4)
+        profiler = TrafficProfiler(mapping)
+        world = SimWorld(4, profiler=profiler)
+
+        def program(comm):
+            if comm.rank == 0:
+                for dest in (1, 2, 3):
+                    comm.send(np.zeros(2), dest=dest, tag=0)
+            else:
+                comm.recv(np.zeros(2), source=0, tag=0)
+
+        world.run(program)
+        assert profiler.max_messages_per_rank() == 3
+        assert profiler.max_bytes_per_rank() == 3 * 16
+        assert set(profiler.per_rank().keys()) == {0}
+
+    def test_object_messages_ignored_by_default(self):
+        profiler = TrafficProfiler()
+        world = SimWorld(2, profiler=profiler)
+        world.run(lambda comm: comm.allgather_obj(comm.rank))
+        assert profiler.total().message_count == 0
+
+    def test_clear(self):
+        mapping = paper_mapping(2, ranks_per_node=2)
+        profiler = TrafficProfiler(mapping)
+        world = SimWorld(2, profiler=profiler)
+        world.run(lambda comm: comm.send(np.zeros(1), dest=1 - comm.rank, tag=0) or
+                  comm.recv(np.zeros(1), source=1 - comm.rank, tag=0))
+        assert profiler.total().message_count > 0
+        profiler.clear()
+        assert profiler.total().message_count == 0
+
+    def test_inter_region_records(self):
+        mapping = paper_mapping(8, ranks_per_node=4)
+        profiler = TrafficProfiler(mapping)
+        world = SimWorld(8, profiler=profiler)
+
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(1), dest=7, tag=0)   # crosses node boundary
+                comm.send(np.zeros(1), dest=1, tag=0)   # stays on node
+            elif comm.rank in (1, 7):
+                comm.recv(np.zeros(1), source=0, tag=0)
+
+        world.run(program)
+        inter = profiler.inter_region_records()
+        assert len(inter) == 1 and inter[0].dest == 7

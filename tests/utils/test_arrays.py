@@ -1,0 +1,110 @@
+"""Unit tests for repro.utils.arrays."""
+
+import numpy as np
+import pytest
+
+from repro.utils.arrays import (
+    as_index_array,
+    concatenate_or_empty,
+    counts_to_displs,
+    displs_to_counts,
+    invert_permutation,
+    partition_evenly,
+    stable_unique,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestCountsDispls:
+    def test_counts_to_displs_basic(self):
+        displs = counts_to_displs([3, 0, 2, 5])
+        assert displs.tolist() == [0, 3, 3, 5, 10]
+
+    def test_counts_to_displs_empty(self):
+        assert counts_to_displs([]).tolist() == [0]
+
+    def test_counts_to_displs_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            counts_to_displs([2, -1])
+
+    def test_displs_to_counts_roundtrip(self):
+        counts = np.array([4, 1, 0, 7])
+        assert displs_to_counts(counts_to_displs(counts)).tolist() == counts.tolist()
+
+    def test_displs_to_counts_rejects_decreasing(self):
+        with pytest.raises(ValidationError):
+            displs_to_counts([0, 5, 3])
+
+    def test_displs_to_counts_empty(self):
+        assert displs_to_counts([]).size == 0
+
+
+class TestPartitionEvenly:
+    def test_even_split(self):
+        offsets = partition_evenly(12, 4)
+        assert offsets.tolist() == [0, 3, 6, 9, 12]
+
+    def test_remainder_goes_to_first_parts(self):
+        offsets = partition_evenly(10, 4)
+        sizes = np.diff(offsets).tolist()
+        assert sizes == [3, 3, 2, 2]
+
+    def test_more_parts_than_items(self):
+        offsets = partition_evenly(2, 5)
+        assert np.diff(offsets).tolist() == [1, 1, 0, 0, 0]
+
+    def test_zero_items(self):
+        assert partition_evenly(0, 3).tolist() == [0, 0, 0, 0]
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValidationError):
+            partition_evenly(10, 0)
+
+    def test_negative_total(self):
+        with pytest.raises(ValidationError):
+            partition_evenly(-1, 2)
+
+
+class TestPermutation:
+    def test_invert_permutation(self):
+        perm = np.array([2, 0, 3, 1])
+        inverse = invert_permutation(perm)
+        assert inverse[perm].tolist() == [0, 1, 2, 3]
+
+    def test_invert_identity(self):
+        assert invert_permutation([0, 1, 2]).tolist() == [0, 1, 2]
+
+    def test_invert_rejects_repeats(self):
+        with pytest.raises(ValidationError):
+            invert_permutation([0, 0, 1])
+
+    def test_invert_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            invert_permutation([0, 5])
+
+
+class TestStableUnique:
+    def test_preserves_first_occurrence_order(self):
+        assert stable_unique([5, 3, 5, 1, 3, 7]).tolist() == [5, 3, 1, 7]
+
+    def test_empty(self):
+        assert stable_unique([]).size == 0
+
+    def test_already_unique(self):
+        assert stable_unique([9, 2, 4]).tolist() == [9, 2, 4]
+
+
+class TestMisc:
+    def test_as_index_array_scalar(self):
+        assert as_index_array(3).tolist() == [3]
+
+    def test_as_index_array_dtype(self):
+        assert as_index_array([1, 2]).dtype == np.int64
+
+    def test_concatenate_or_empty_skips_empty(self):
+        result = concatenate_or_empty([np.array([1, 2]), np.array([]), np.array([3])])
+        assert result.tolist() == [1, 2, 3]
+
+    def test_concatenate_or_empty_all_empty(self):
+        result = concatenate_or_empty([np.array([]), np.array([])])
+        assert result.size == 0 and result.dtype == np.int64
