@@ -65,8 +65,9 @@ def main() -> int:
         graph = dist_graph_create_adjacent(comm, sources, dests, validate=False)
         collective = neighbor_alltoallv_init(graph, send_items, recv_items, mapping,
                                              variant=Variant.PARTIAL)
-        owned = {int(i) for items in send_items.values() for i in items}
-        return collective.exchange({i: float(i) for i in owned})
+        # Array-native exchange: owned values in, dense halo out.
+        values = collective.owned_item_ids.astype("float64")
+        return collective.exchange(values)
 
     world.run(program)
 

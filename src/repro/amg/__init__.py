@@ -13,7 +13,12 @@ from repro.amg.strength import classical_strength
 from repro.amg.coarsen import pmis_coarsening, SplittingResult, CPOINT, FPOINT
 from repro.amg.interp import direct_interpolation
 from repro.amg.galerkin import galerkin_product
-from repro.amg.relax import jacobi, weighted_jacobi_iteration, gauss_seidel_iteration
+from repro.amg.relax import (
+    DistributedJacobi,
+    jacobi,
+    weighted_jacobi_iteration,
+    gauss_seidel_iteration,
+)
 from repro.amg.hierarchy import (
     AMGLevel,
     AMGHierarchy,
@@ -36,6 +41,7 @@ __all__ = [
     "FPOINT",
     "direct_interpolation",
     "galerkin_product",
+    "DistributedJacobi",
     "jacobi",
     "weighted_jacobi_iteration",
     "gauss_seidel_iteration",

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.amg.hierarchy import AMGHierarchy
 from repro.collectives.aggregation import BalanceStrategy
 from repro.collectives.plan import CollectivePlan, Variant
@@ -24,9 +26,12 @@ from repro.topology.mapping import RankMapping
 from repro.utils.errors import ValidationError
 
 
-def level_patterns(hierarchy: AMGHierarchy, *, item_bytes: int = 8) -> List[CommPattern]:
+def level_patterns(hierarchy: AMGHierarchy, *, item_bytes: int | None = None,
+                   dtype=None, item_size: int = 1) -> List[CommPattern]:
     """The SpMV communication pattern of every level of the hierarchy."""
-    return [pattern_from_parcsr(level.matrix, item_bytes=item_bytes)
+    dtype = np.float64 if dtype is None else dtype
+    return [pattern_from_parcsr(level.matrix, item_bytes=item_bytes,
+                                dtype=dtype, item_size=item_size)
             for level in hierarchy.levels]
 
 
@@ -63,7 +68,8 @@ class LevelCommProfile:
 def hierarchy_comm_profiles(hierarchy: AMGHierarchy, mapping: RankMapping, *,
                             model: Optional[CostModel] = None,
                             strategy: BalanceStrategy = BalanceStrategy.BYTES,
-                            item_bytes: int = 8,
+                            item_bytes: int | None = None,
+                            dtype=None, item_size: int = 1,
                             validate: bool = False) -> List[LevelCommProfile]:
     """Build a :class:`LevelCommProfile` for every level of ``hierarchy``.
 
@@ -77,9 +83,11 @@ def hierarchy_comm_profiles(hierarchy: AMGHierarchy, mapping: RankMapping, *,
     """
     if mapping.n_ranks < hierarchy.levels[0].matrix.n_ranks:
         raise ValidationError("mapping has fewer ranks than the hierarchy's partition")
+    dtype = np.float64 if dtype is None else dtype
     profiles: List[LevelCommProfile] = []
     for level in hierarchy.levels:
-        pattern = pattern_from_parcsr(level.matrix, item_bytes=item_bytes)
+        pattern = pattern_from_parcsr(level.matrix, item_bytes=item_bytes,
+                                      dtype=dtype, item_size=item_size)
         plans = all_plans(pattern, mapping, strategy=strategy)
         if validate:
             for plan in plans.values():

@@ -41,6 +41,12 @@ from repro.collectives.planner import (
     make_plan,
     all_plans,
 )
+from repro.collectives.exchange import (
+    ExchangeSpec,
+    CompiledExchange,
+    CompiledPhase,
+    compile_exchange,
+)
 from repro.collectives.persistent import PersistentNeighborCollective
 from repro.collectives.api import (
     neighbor_alltoallv_init,
@@ -70,6 +76,10 @@ __all__ = [
     "plan_full",
     "make_plan",
     "all_plans",
+    "ExchangeSpec",
+    "CompiledExchange",
+    "CompiledPhase",
+    "compile_exchange",
     "PersistentNeighborCollective",
     "neighbor_alltoallv_init",
     "neighbor_alltoallv",

@@ -7,18 +7,23 @@ The entry point mirrors how an application uses MPI Advance:
 2. call :func:`neighbor_alltoallv_init` with its send/receive maps (and, for
    the fully optimized variant, the item indices — the paper's proposed API
    extension), obtaining a persistent collective,
-3. call ``start``/``wait`` every iteration.
+3. call ``start``/``wait`` every iteration with a dense value array.
 
 ``neighbor_alltoallv_init`` is a *collective* call: every rank of the
 communicator must call it with its own local arguments.  The implementation
 gathers the per-rank maps (the information a real library already holds inside
 the topology communicator), builds the global pattern, runs the planner, and
 returns a per-rank :class:`PersistentNeighborCollective` executing the plan.
+
+The exchange is dtype-generic: ``dtype`` and ``item_size`` describe the
+element type (e.g. ``dtype=np.float32, item_size=9`` for a D2Q9 lattice
+Boltzmann distribution halo) and determine the wire size of every message;
+the legacy ``item_bytes`` argument is only needed to model hypothetical sizes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -29,17 +34,20 @@ from repro.collectives.planner import make_plan
 from repro.pattern.comm_pattern import CommPattern
 from repro.simmpi.topo_comm import DistGraphComm
 from repro.topology.mapping import RankMapping
+from repro.utils.arrays import INDEX_DTYPE, counts_to_displs
 from repro.utils.errors import CommunicationError, ValidationError
 
 
 def _gather_pattern(graph_comm: DistGraphComm,
                     send_items: Mapping[int, Sequence[int]],
-                    item_bytes: int) -> CommPattern:
+                    *, dtype: np.dtype, item_size: int,
+                    item_bytes: int | None) -> CommPattern:
     """Collectively assemble the global pattern from per-rank send maps."""
     local = {int(dest): [int(i) for i in items] for dest, items in send_items.items()}
     gathered = graph_comm.comm.allgather_obj(local)
     sends = {rank: entry for rank, entry in enumerate(gathered) if entry}
-    return CommPattern(graph_comm.size, sends, item_bytes=item_bytes)
+    return CommPattern(graph_comm.size, sends, item_bytes=item_bytes,
+                       dtype=dtype, item_size=item_size)
 
 
 def neighbor_alltoallv_init(graph_comm: DistGraphComm,
@@ -49,7 +57,10 @@ def neighbor_alltoallv_init(graph_comm: DistGraphComm,
                             *,
                             variant: Variant | str = Variant.PARTIAL,
                             strategy: BalanceStrategy = BalanceStrategy.BYTES,
-                            item_bytes: int = 8) -> PersistentNeighborCollective:
+                            dtype: np.dtype | type | str = np.float64,
+                            item_size: int = 1,
+                            item_bytes: int | None = None
+                            ) -> PersistentNeighborCollective:
     """Initialise a persistent neighborhood all-to-all-v (collective call).
 
     Parameters
@@ -71,23 +82,30 @@ def neighbor_alltoallv_init(graph_comm: DistGraphComm,
         point_to_point for the Hypre-style reference).
     strategy:
         Load-balancing strategy for the aggregated variants.
+    dtype, item_size:
+        Element dtype and components per item of the exchanged values; the
+        wire size of every message is ``count * item_size * dtype.itemsize``.
     item_bytes:
-        Size of one data item in bytes.
+        Override of the modeled per-item wire size (defaults to the real one).
     """
     variant = Variant(variant)
+    dtype = np.dtype(dtype)
+    destination_set = {int(d) for d in graph_comm.destinations}
     for dest in send_items:
-        if int(dest) not in set(int(d) for d in graph_comm.destinations):
+        if int(dest) not in destination_set:
             raise ValidationError(
                 f"rank {graph_comm.rank} sends to rank {dest} which is not among its "
                 "graph destinations"
             )
+    source_set = {int(s) for s in graph_comm.sources}
     for src in recv_items:
-        if int(src) not in set(int(s) for s in graph_comm.sources):
+        if int(src) not in source_set:
             raise ValidationError(
                 f"rank {graph_comm.rank} receives from rank {src} which is not among "
                 "its graph sources"
             )
-    pattern = _gather_pattern(graph_comm, send_items, item_bytes)
+    pattern = _gather_pattern(graph_comm, send_items, dtype=dtype,
+                              item_size=item_size, item_bytes=item_bytes)
     # Cross-check the receive side against the globally assembled pattern: the
     # items a rank expects must be exactly the items its sources declared.
     for src, items in recv_items.items():
@@ -99,54 +117,96 @@ def neighbor_alltoallv_init(graph_comm: DistGraphComm,
                 f"{src} but that rank declared {sorted(declared)[:5]}..."
             )
     plan = make_plan(pattern, mapping, variant, strategy=strategy)
-    return PersistentNeighborCollective(graph_comm.comm, plan)
+    return PersistentNeighborCollective(graph_comm.comm, plan,
+                                        dtype=dtype, item_size=item_size)
 
 
 def neighbor_alltoallv(graph_comm: DistGraphComm,
                        send_items: Mapping[int, Sequence[int]],
                        recv_items: Mapping[int, Sequence[int]],
-                       values: Mapping[int, float],
+                       values: Union[np.ndarray, Mapping[int, float]],
                        mapping: RankMapping,
                        *,
                        variant: Variant | str = Variant.PARTIAL,
                        strategy: BalanceStrategy = BalanceStrategy.BYTES,
-                       item_bytes: int = 8) -> Dict[int, float]:
-    """Non-persistent convenience wrapper: init, one exchange, done."""
+                       dtype: np.dtype | type | str = np.float64,
+                       item_size: int = 1,
+                       item_bytes: int | None = None
+                       ) -> Union[np.ndarray, Dict[int, float]]:
+    """Non-persistent convenience wrapper: init, one exchange, done.
+
+    ``values`` is a dense array over this rank's owned items in ascending item
+    id order (or, deprecated, an item-keyed mapping — the result mirrors the
+    input style).
+    """
     collective = neighbor_alltoallv_init(graph_comm, send_items, recv_items, mapping,
                                          variant=variant, strategy=strategy,
+                                         dtype=dtype, item_size=item_size,
                                          item_bytes=item_bytes)
     return collective.exchange(values)
 
 
+def _lookup_dense(item_lists: Mapping[int, Sequence[int]],
+                  values: Mapping[int, float],
+                  ranks: list[int], dtype: np.dtype | None, item_size: int
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared core of the alltoallv buffer helpers.
+
+    Returns ``(buffer, counts, displs)`` where ``buffer`` concatenates the
+    values of every rank's item list in rank order.  The value lookup is a
+    single vectorized ``searchsorted`` — no per-item Python loop.
+    """
+    counts = np.array([len(item_lists[r]) for r in ranks], dtype=INDEX_DTYPE)
+    displs = counts_to_displs(counts)
+    wanted = np.array([int(i) for r in ranks for i in item_lists[r]],
+                      dtype=INDEX_DTYPE)
+    ids = np.fromiter(values.keys(), dtype=INDEX_DTYPE, count=len(values))
+    table = np.asarray(list(values.values()))
+    if item_size > 1:
+        table = table.reshape(ids.size, item_size)
+    if dtype is not None:
+        table = table.astype(dtype, copy=False)
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    positions = np.searchsorted(sorted_ids, wanted)
+    found = positions < sorted_ids.size
+    found[found] = sorted_ids[positions[found]] == wanted[found]
+    if not found.all():
+        raise ValidationError(f"no value for item(s) {wanted[~found][:5].tolist()}")
+    buffer = table[order[positions]]
+    return np.ascontiguousarray(buffer), counts, displs
+
+
 def pack_alltoallv_buffers(send_items: Mapping[int, Sequence[int]],
-                           values: Mapping[int, float]
+                           values: Mapping[int, float],
+                           *, dtype: np.dtype | type | str | None = None,
+                           item_size: int = 1
                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, list[int]]:
     """Build classic MPI-style ``(sendbuf, counts, displs, neighbor order)`` buffers.
 
     Utility for applications that keep their data in alltoallv-style packed
-    buffers; the neighborhood collective itself works with item-keyed values.
+    buffers.  The packing is fully vectorized (one ``searchsorted`` + one
+    fancy index) and dtype-aware: ``dtype`` defaults to the dtype of the
+    values, and ``item_size > 1`` packs vector-valued items contiguously.
     """
     destinations = sorted(int(d) for d in send_items)
-    counts = np.array([len(send_items[d]) for d in destinations], dtype=np.int64)
-    displs = np.zeros(len(destinations) + 1, dtype=np.int64)
-    np.cumsum(counts, out=displs[1:])
-    buffer = np.empty(int(displs[-1]), dtype=np.float64)
-    for d_index, dest in enumerate(destinations):
-        for offset, item in enumerate(send_items[dest]):
-            buffer[displs[d_index] + offset] = values[int(item)]
+    buffer, counts, displs = _lookup_dense(send_items, values, destinations,
+                                           np.dtype(dtype) if dtype else None,
+                                           item_size)
     return buffer, counts, displs[:-1], destinations
 
 
 def unpack_alltoallv_buffers(recv_items: Mapping[int, Sequence[int]],
-                             received: Mapping[int, float]
+                             received: Mapping[int, float],
+                             *, dtype: np.dtype | type | str | None = None,
+                             item_size: int = 1
                              ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, list[int]]:
-    """Arrange received item values into MPI-style packed receive buffers."""
+    """Arrange received item values into MPI-style packed receive buffers.
+
+    Vectorized and dtype-aware, mirroring :func:`pack_alltoallv_buffers`.
+    """
     sources = sorted(int(s) for s in recv_items)
-    counts = np.array([len(recv_items[s]) for s in sources], dtype=np.int64)
-    displs = np.zeros(len(sources) + 1, dtype=np.int64)
-    np.cumsum(counts, out=displs[1:])
-    buffer = np.empty(int(displs[-1]), dtype=np.float64)
-    for s_index, src in enumerate(sources):
-        for offset, item in enumerate(recv_items[src]):
-            buffer[displs[s_index] + offset] = received[int(item)]
+    buffer, counts, displs = _lookup_dense(recv_items, received, sources,
+                                           np.dtype(dtype) if dtype else None,
+                                           item_size)
     return buffer, counts, displs[:-1], sources

@@ -1,0 +1,233 @@
+"""Compiled, array-native execution form of a collective plan.
+
+A :class:`CollectivePlan` describes *what* moves (slots and payload keys); this
+module compiles one rank's share of a plan into *how* it moves on dense numpy
+buffers.  The compiled form replaces the item-keyed-dict data path: every value
+a rank ever holds during one exchange — its owned items plus everything it
+receives in any phase — is assigned a row of a dense *work array*, and every
+message gets a precomputed gather (pack) or scatter (unpack) index into that
+array.  Per-iteration packing is then a single fancy-index per phase
+(``arena = work[gather]``) and unpacking its mirror (``work[scatter] = arena``),
+with no per-item Python loops anywhere on the Start/Wait path.
+
+The compilation is dtype-generic: an :class:`ExchangeSpec` carries the element
+dtype and the number of components per item (``item_size`` — e.g. the
+distribution set of a lattice-Boltzmann site, or the DOFs of a multi-component
+unknown), and the work array has shape ``(n_rows, item_size)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.collectives.plan import (
+    AGGREGATED_PHASES,
+    CollectivePlan,
+    Phase,
+    PlannedMessage,
+    Variant,
+)
+from repro.utils.arrays import INDEX_DTYPE
+from repro.utils.errors import PlanError, ValidationError
+
+#: Compile-time availability schedules, mirroring the *runtime* order of the
+#: executor exactly: a ``("send", phase)`` step may only gather keys that are
+#: owned or were registered by an earlier ``("recv", phase)`` step.  In the
+#: aggregated protocol (Algorithms 5-6) the setup redistribution completes
+#: inside ``start`` before the global phase packs, but the local and global
+#: receives only land in ``wait`` — so the final redistribution is the only
+#: phase allowed to forward what they delivered.
+_DIRECT_SCHEDULE: Tuple[Tuple[str, Phase], ...] = (
+    ("send", Phase.DIRECT), ("recv", Phase.DIRECT),
+)
+_AGGREGATED_SCHEDULE: Tuple[Tuple[str, Phase], ...] = (
+    ("send", Phase.LOCAL),
+    ("send", Phase.SETUP_REDIST),
+    ("recv", Phase.SETUP_REDIST),
+    ("send", Phase.GLOBAL),
+    ("recv", Phase.LOCAL),
+    ("recv", Phase.GLOBAL),
+    ("send", Phase.FINAL_REDIST),
+    ("recv", Phase.FINAL_REDIST),
+)
+
+
+@dataclass(frozen=True)
+class ExchangeSpec:
+    """Element type of an exchange: dtype plus components per item."""
+
+    dtype: np.dtype = np.dtype(np.float64)
+    item_size: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        object.__setattr__(self, "item_size", int(self.item_size))
+        if self.item_size < 1:
+            raise ValidationError(f"item_size must be >= 1, got {self.item_size}")
+
+    @property
+    def item_bytes(self) -> int:
+        """Bytes of one item (all components)."""
+        return self.item_size * self.dtype.itemsize
+
+
+@dataclass
+class CompiledPhase:
+    """One rank's compiled sends and receives for one phase.
+
+    ``gather`` concatenates the work-array rows of every send message's payload
+    in message order; message ``i`` packs rows
+    ``gather[send_offsets[i]:send_offsets[i + 1]]`` and its wire buffer is the
+    matching slice of the phase's contiguous send arena.  ``scatter`` is the
+    mirror image for receives.
+    """
+
+    phase: Phase
+    send_messages: List[PlannedMessage]
+    recv_messages: List[PlannedMessage]
+    gather: np.ndarray
+    scatter: np.ndarray
+    send_offsets: np.ndarray
+    recv_offsets: np.ndarray
+
+
+@dataclass
+class CompiledExchange:
+    """One rank's complete compiled exchange.
+
+    ``owned_items`` fixes the caller-side input order: element ``i`` of the
+    dense input array is the value of item ``owned_items[i]`` (rows
+    ``[0, owned_items.size)`` of the work array).  ``result_rows`` gathers the
+    output: item ``result_items[i]`` (sent by ``result_sources[i]``) is row
+    ``result_rows[i]``.
+    """
+
+    rank: int
+    variant: Variant
+    spec: ExchangeSpec
+    n_rows: int
+    owned_items: np.ndarray
+    result_items: np.ndarray
+    result_sources: np.ndarray
+    result_rows: np.ndarray
+    phases: List[CompiledPhase] = field(default_factory=list)
+
+    @property
+    def n_owned(self) -> int:
+        """Items the caller supplies per iteration."""
+        return int(self.owned_items.size)
+
+    @property
+    def n_result(self) -> int:
+        """Items handed back to the caller per iteration."""
+        return int(self.result_items.size)
+
+
+def _message_rows(message: PlannedMessage, rows: Dict[Tuple[int, int], int],
+                  *, allow_new: bool) -> List[int]:
+    """Work-array rows of a message's payload keys, in packing order."""
+    out: List[int] = []
+    for key in message.payload_keys:
+        row = rows.get(key)
+        if row is None:
+            if not allow_new:
+                raise PlanError(
+                    f"phase-{message.phase.value} message {message.src}->"
+                    f"{message.dest} packs origin {key[0]}, item {key[1]} which the "
+                    "sending rank neither owns nor received in an earlier phase"
+                )
+            row = len(rows)
+            rows[key] = row
+        out.append(row)
+    return out
+
+
+def compile_exchange(plan: CollectivePlan, rank: int,
+                     spec: ExchangeSpec | None = None) -> CompiledExchange:
+    """Compile ``rank``'s share of ``plan`` into gather/scatter index arrays.
+
+    The compilation walks the phases in execution order, resolving every send
+    against the keys the rank holds so far (owned items first, then whatever
+    earlier phases delivered); a send of an unobtainable key is a
+    :class:`PlanError` at compile time rather than a runtime failure.
+    """
+    spec = spec or ExchangeSpec()
+    pattern = plan.pattern
+
+    # Rows [0, n_owned) are the rank's owned items in ascending-id order; that
+    # order is the array API's input convention.
+    send_map = pattern.send_map(rank)
+    owned_ids = sorted({int(item) for items in send_map.values()
+                        for item in items.tolist()})
+    rows: Dict[Tuple[int, int], int] = {(rank, item): position
+                                        for position, item in enumerate(owned_ids)}
+
+    if plan.variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
+        order, schedule = (Phase.DIRECT,), _DIRECT_SCHEDULE
+    else:
+        order, schedule = AGGREGATED_PHASES, _AGGREGATED_SCHEDULE
+    gathers: Dict[Phase, Tuple[List[int], List[int]]] = {}
+    scatters: Dict[Phase, Tuple[List[int], List[int]]] = {}
+    for side, phase in schedule:
+        indices: List[int] = []
+        offsets = [0]
+        if side == "send":
+            for message in plan.messages_from(rank, phase):
+                indices.extend(_message_rows(message, rows, allow_new=False))
+                offsets.append(len(indices))
+            gathers[phase] = (indices, offsets)
+        else:
+            for message in plan.messages_to(rank, phase):
+                indices.extend(_message_rows(message, rows, allow_new=True))
+                offsets.append(len(indices))
+            scatters[phase] = (indices, offsets)
+    phases: List[CompiledPhase] = []
+    for phase in order:
+        gather, send_offsets = gathers[phase]
+        scatter, recv_offsets = scatters[phase]
+        phases.append(CompiledPhase(
+            phase=phase,
+            send_messages=plan.messages_from(rank, phase),
+            recv_messages=plan.messages_to(rank, phase),
+            gather=np.asarray(gather, dtype=INDEX_DTYPE),
+            scatter=np.asarray(scatter, dtype=INDEX_DTYPE),
+            send_offsets=np.asarray(send_offsets, dtype=INDEX_DTYPE),
+            recv_offsets=np.asarray(recv_offsets, dtype=INDEX_DTYPE),
+        ))
+
+    # Output view: every item the pattern says this rank receives (including
+    # self-sends) must have a row by now — either owned, or delivered by some
+    # phase, or a self-delivery of the aggregation (the receive leader is the
+    # final destination, so the key arrived with the global phase).
+    expected: Dict[int, int] = {}
+    for src, items in pattern.recv_map(rank).items():
+        for item in items.tolist():
+            expected[int(item)] = int(src)
+    result_items = np.asarray(sorted(expected), dtype=INDEX_DTYPE)
+    result_sources = np.asarray([expected[int(item)] for item in result_items],
+                                dtype=INDEX_DTYPE)
+    result_rows = np.empty(result_items.size, dtype=INDEX_DTYPE)
+    for position, (item, src) in enumerate(zip(result_items.tolist(),
+                                               result_sources.tolist())):
+        row = rows.get((src, item))
+        if row is None:
+            raise PlanError(
+                f"rank {rank} expects item {item} from rank {src} but no phase of "
+                "the plan delivers it"
+            )
+        result_rows[position] = row
+
+    return CompiledExchange(
+        rank=rank,
+        variant=plan.variant,
+        spec=spec,
+        n_rows=len(rows),
+        owned_items=np.asarray(owned_ids, dtype=INDEX_DTYPE),
+        result_items=result_items,
+        result_sources=result_sources,
+        result_rows=result_rows,
+        phases=phases,
+    )

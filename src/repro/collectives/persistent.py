@@ -8,25 +8,35 @@ the Start/Wait cycle the paper times.  The handle executes whatever
 runs the standard, partially optimized and fully optimized variants; the
 difference is entirely in the plan.
 
-Values are float64 scalars keyed by item id (for a SpMV halo exchange, the
-vector entries keyed by global row index).
+The data path is array-native: at init time the plan is compiled into
+gather/scatter index arrays (:mod:`repro.collectives.exchange`), and every
+iteration moves a dense value array of any dtype (float32/float64/int64/
+complex128/…) with any number of components per item.  Packing is one fancy
+index per phase into a contiguous send arena whose per-message slices are
+posted directly as the persistent send buffers; unpacking is the mirror
+scatter.  No per-item Python loop runs between ``start`` and ``wait``.
+
+The original item-keyed-dict interface (``start({item: value})`` /
+``wait() -> {item: value}``) is kept as a thin **deprecated** compatibility
+wrapper that converts at the boundary and runs the same array core.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Union
 
 import numpy as np
 
-from repro.collectives.plan import (
-    CollectivePlan,
-    Phase,
-    PlannedMessage,
-    Variant,
+from repro.collectives.exchange import (
+    CompiledExchange,
+    CompiledPhase,
+    ExchangeSpec,
+    compile_exchange,
 )
+from repro.collectives.plan import CollectivePlan, Phase, Variant
 from repro.simmpi.comm import SimComm
 from repro.simmpi.request import PersistentRecvRequest, PersistentSendRequest
-from repro.utils.errors import CommunicationError, PlanError
+from repro.utils.errors import CommunicationError, PlanError, ValidationError
 
 #: Tag offsets per phase so concurrent phases never match each other's traffic.
 _PHASE_TAGS = {
@@ -38,42 +48,59 @@ _PHASE_TAGS = {
 }
 
 
-class _PhaseEndpoint:
-    """One rank's sends and receives for one phase of a plan."""
+def _gather_into(work: np.ndarray, indices: np.ndarray, out: np.ndarray) -> None:
+    """Pack: one fancy-index gather from the work array into a send arena.
 
-    def __init__(self, comm: SimComm, plan: CollectivePlan, phase: Phase, rank: int):
-        tag = _PHASE_TAGS[phase]
-        self.phase = phase
-        self.send_messages: List[PlannedMessage] = plan.messages_from(rank, phase)
-        self.recv_messages: List[PlannedMessage] = plan.messages_to(rank, phase)
-        self.send_buffers: List[np.ndarray] = [
-            np.empty(m.payload_count(), dtype=np.float64) for m in self.send_messages
-        ]
-        self.recv_buffers: List[np.ndarray] = [
-            np.empty(m.payload_count(), dtype=np.float64) for m in self.recv_messages
-        ]
+    Kept as a module-level seam so tests can shim it and count invocations —
+    the count must scale with the number of phases, never with item count.
+    """
+    np.take(work, indices, axis=0, out=out)
+
+
+def _scatter_from(work: np.ndarray, indices: np.ndarray, arena: np.ndarray) -> None:
+    """Unpack: one fancy-index scatter from a receive arena into the work array."""
+    work[indices] = arena
+
+
+class _PhaseEndpoint:
+    """One rank's sends and receives for one phase of a compiled plan.
+
+    The send (receive) buffers of all messages of the phase live in one
+    contiguous arena; each persistent request posts an arena *slice*, so the
+    wire sees exactly the bytes the gather produced, with no per-message copy
+    on the pack side.
+    """
+
+    def __init__(self, comm: SimComm, compiled: CompiledPhase, spec: ExchangeSpec):
+        tag = _PHASE_TAGS[compiled.phase]
+        self.phase = compiled.phase
+        self._gather = compiled.gather
+        self._scatter = compiled.scatter
+        self.send_messages = compiled.send_messages
+        self.recv_messages = compiled.recv_messages
+        self.send_arena = np.empty((compiled.gather.size, spec.item_size),
+                                   dtype=spec.dtype)
+        self.recv_arena = np.empty((compiled.scatter.size, spec.item_size),
+                                   dtype=spec.dtype)
+        offsets = compiled.send_offsets
         self.send_requests: List[PersistentSendRequest] = [
-            comm.send_init(buf, dest=m.dest, tag=tag)
-            for m, buf in zip(self.send_messages, self.send_buffers)
+            comm.send_init(self.send_arena[offsets[i]:offsets[i + 1]],
+                           dest=message.dest, tag=tag)
+            for i, message in enumerate(self.send_messages)
         ]
+        offsets = compiled.recv_offsets
         self.recv_requests: List[PersistentRecvRequest] = [
-            comm.recv_init(buf, source=m.src, tag=tag)
-            for m, buf in zip(self.recv_messages, self.recv_buffers)
+            comm.recv_init(self.recv_arena[offsets[i]:offsets[i + 1]],
+                           source=message.src, tag=tag)
+            for i, message in enumerate(self.recv_messages)
         ]
 
     # -- per-iteration operations ---------------------------------------------
 
-    def pack(self, known_values: Dict[Tuple[int, int], float]) -> None:
-        """Fill send buffers from the values this rank currently holds."""
-        for message, buffer in zip(self.send_messages, self.send_buffers):
-            for position, key in enumerate(message.payload_keys):
-                try:
-                    buffer[position] = known_values[key]
-                except KeyError:
-                    raise PlanError(
-                        f"rank holds no value for origin {key[0]}, item {key[1]} needed "
-                        f"by a phase-{message.phase.value} message"
-                    ) from None
+    def pack(self, work: np.ndarray) -> None:
+        """Fill the send arena from the work array (single gather)."""
+        if self._gather.size:
+            _gather_into(work, self._gather, self.send_arena)
 
     def start(self) -> None:
         """Start all persistent requests of the phase (MPI_Startall)."""
@@ -82,15 +109,14 @@ class _PhaseEndpoint:
         for request in self.send_requests:
             request.start()
 
-    def wait(self, known_values: Dict[Tuple[int, int], float]) -> None:
-        """Complete the phase and merge received values into ``known_values``."""
+    def wait(self, work: np.ndarray) -> None:
+        """Complete the phase and scatter received values into the work array."""
         for request in self.recv_requests:
             request.wait()
         for request in self.send_requests:
             request.wait()
-        for message, buffer in zip(self.recv_messages, self.recv_buffers):
-            for position, key in enumerate(message.payload_keys):
-                known_values[key] = float(buffer[position])
+        if self._scatter.size:
+            _scatter_from(work, self._scatter, self.recv_arena)
 
     @property
     def n_messages(self) -> int:
@@ -98,10 +124,25 @@ class _PhaseEndpoint:
         return len(self.send_messages)
 
 
+#: Caller-side value container: a dense array (canonical) or the deprecated
+#: item-keyed mapping.
+Values = Union[np.ndarray, Mapping[int, float]]
+
+
 class PersistentNeighborCollective:
-    """One rank's persistent handle for a planned neighborhood collective."""
+    """One rank's persistent handle for a planned neighborhood collective.
+
+    The canonical interface is array-native: ``start`` takes a dense array of
+    the rank's owned item values in ``owned_item_ids`` order (shape
+    ``(n_owned,)``, or ``(n_owned, item_size)`` for vector-valued items) and
+    ``wait`` returns the received values in ``recv_item_ids`` order.  Passing a
+    ``{item id: value}`` mapping instead still works but converts at the
+    boundary and is deprecated.
+    """
 
     def __init__(self, comm: SimComm, plan: CollectivePlan, *,
+                 dtype: np.dtype | type | str | None = None,
+                 item_size: int | None = None,
                  duplicate_comm: bool = True):
         self.comm = comm.dup() if duplicate_comm else comm
         self.plan = plan
@@ -111,89 +152,164 @@ class PersistentNeighborCollective:
             raise CommunicationError(
                 "plan was built for more ranks than the communicator provides"
             )
-        if self.variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
-            self._phases = [_PhaseEndpoint(self.comm, plan, Phase.DIRECT, self.rank)]
-        else:
-            self._phases = [
-                _PhaseEndpoint(self.comm, plan, phase, self.rank)
-                for phase in (Phase.LOCAL, Phase.SETUP_REDIST, Phase.GLOBAL,
-                              Phase.FINAL_REDIST)
-            ]
+        self.spec = ExchangeSpec(
+            dtype=np.dtype(dtype) if dtype is not None else plan.pattern.dtype,
+            item_size=int(item_size) if item_size is not None
+            else plan.pattern.item_size,
+        )
+        self.compiled: CompiledExchange = compile_exchange(plan, self.rank, self.spec)
+        self._phases = [_PhaseEndpoint(self.comm, phase, self.spec)
+                        for phase in self.compiled.phases]
         self._phase_by_name = {endpoint.phase: endpoint for endpoint in self._phases}
-        # Items this rank must hand back to the caller after every exchange.
-        recv_map = plan.pattern.recv_map(self.rank)
-        self._expected_items: Dict[int, int] = {}
-        for src, items in recv_map.items():
-            for item in items.tolist():
-                self._expected_items[int(item)] = int(src)
-        self._known_values: Dict[Tuple[int, int], float] = {}
+        self._work = np.zeros((self.compiled.n_rows, self.spec.item_size),
+                              dtype=self.spec.dtype)
         self._started = False
+        self._dict_mode = False
+
+    # -- array API: index metadata ---------------------------------------------
+
+    @property
+    def owned_item_ids(self) -> np.ndarray:
+        """Item ids of the dense input, in input order (ascending)."""
+        return self.compiled.owned_items
+
+    @property
+    def recv_item_ids(self) -> np.ndarray:
+        """Item ids of the dense output of ``wait``, in output order (ascending)."""
+        return self.compiled.result_items
+
+    @property
+    def recv_item_sources(self) -> np.ndarray:
+        """Owning rank of every entry of ``recv_item_ids``."""
+        return self.compiled.result_sources
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the exchange."""
+        return self.spec.dtype
+
+    @property
+    def item_size(self) -> int:
+        """Components per item."""
+        return self.spec.item_size
 
     # -- persistent life-cycle ----------------------------------------------------
 
-    def start(self, values: Mapping[int, float]) -> None:
+    def start(self, values: Values) -> None:
         """Begin one iteration of communication (MPI_Start).
 
-        ``values`` maps the item ids this rank *owns* to their current values.
-        Following Algorithm 5, the fully local phase and the initial
+        ``values`` holds the current values of the items this rank *owns*: a
+        dense array in ``owned_item_ids`` order, or (deprecated) an item-keyed
+        mapping.  Following Algorithm 5, the fully local phase and the initial
         redistribution are started immediately; the redistribution is completed
         inside ``start`` so the inter-region phase can begin.
         """
         if self._started:
             raise CommunicationError("collective started twice without wait")
-        self._known_values = {(self.rank, int(item)): float(value)
-                              for item, value in values.items()}
+        self._dict_mode = isinstance(values, Mapping)
+        if self._dict_mode:
+            values = self._array_from_mapping(values)
+        self._load_owned(values)
+        work = self._work
         if self.variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
             direct = self._phase_by_name[Phase.DIRECT]
-            direct.pack(self._known_values)
+            direct.pack(work)
             direct.start()
         else:
             local = self._phase_by_name[Phase.LOCAL]
             setup = self._phase_by_name[Phase.SETUP_REDIST]
             global_phase = self._phase_by_name[Phase.GLOBAL]
-            local.pack(self._known_values)
+            local.pack(work)
             local.start()
-            setup.pack(self._known_values)
+            setup.pack(work)
             setup.start()
-            setup.wait(self._known_values)
-            global_phase.pack(self._known_values)
+            setup.wait(work)
+            global_phase.pack(work)
             global_phase.start()
         self._started = True
 
-    def wait(self) -> Dict[int, float]:
+    def wait(self) -> Union[np.ndarray, Dict[int, float]]:
         """Complete the iteration (MPI_Wait) and return received values.
 
-        Returns a mapping from item id to value covering every item this rank
-        receives in the pattern (plus items it sends to itself).
+        Returns the values of every item this rank receives in the pattern
+        (plus items it sends to itself) in ``recv_item_ids`` order — as a dense
+        array, or as an item-keyed dict when ``start`` was given a mapping.
         """
         if not self._started:
             raise CommunicationError("wait called before start")
+        work = self._work
         if self.variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
-            self._phase_by_name[Phase.DIRECT].wait(self._known_values)
+            self._phase_by_name[Phase.DIRECT].wait(work)
         else:
             local = self._phase_by_name[Phase.LOCAL]
             global_phase = self._phase_by_name[Phase.GLOBAL]
             final = self._phase_by_name[Phase.FINAL_REDIST]
-            local.wait(self._known_values)
-            global_phase.wait(self._known_values)
-            final.pack(self._known_values)
+            local.wait(work)
+            global_phase.wait(work)
+            final.pack(work)
             final.start()
-            final.wait(self._known_values)
+            final.wait(work)
         self._started = False
-        result: Dict[int, float] = {}
-        for item, src in self._expected_items.items():
-            key = (src, item)
-            if key not in self._known_values:
-                raise CommunicationError(
-                    f"rank {self.rank} did not receive item {item} from rank {src}"
-                )
-            result[item] = self._known_values[key]
+        result = work[self.compiled.result_rows]
+        if self.spec.item_size == 1:
+            result = result.reshape(-1)
+        if self._dict_mode:
+            return self._mapping_from_array(result)
         return result
 
-    def exchange(self, values: Mapping[int, float]) -> Dict[int, float]:
+    def exchange(self, values: Values) -> Union[np.ndarray, Dict[int, float]]:
         """Convenience start-then-wait for a single iteration."""
         self.start(values)
         return self.wait()
+
+    # -- deprecated dict boundary ---------------------------------------------------
+
+    def _array_from_mapping(self, values: Mapping[int, float]) -> np.ndarray:
+        """Convert an item-keyed mapping into the dense input array (deprecated path)."""
+        array = np.empty((self.compiled.n_owned, self.spec.item_size),
+                         dtype=self.spec.dtype)
+        for position, item in enumerate(self.compiled.owned_items.tolist()):
+            try:
+                array[position] = values[item]
+            except KeyError:
+                raise PlanError(
+                    f"rank {self.rank} holds no value for item {item} needed by "
+                    "the exchange"
+                ) from None
+        return array
+
+    def _mapping_from_array(self, result: np.ndarray) -> Dict[int, float]:
+        """Convert the dense output back into an item-keyed dict (deprecated path)."""
+        items = self.compiled.result_items.tolist()
+        if self.spec.item_size == 1:
+            return {item: value.item() for item, value in zip(items, result)}
+        return {item: np.array(row) for item, row in zip(items, result)}
+
+    def _load_owned(self, values: np.ndarray) -> None:
+        """Copy the caller's dense input into the owned rows of the work array."""
+        n_owned = self.compiled.n_owned
+        expected = (n_owned,) if self.spec.item_size == 1 else \
+            (n_owned, self.spec.item_size)
+        array = np.asarray(values)
+        if array.dtype != self.spec.dtype \
+                and array.dtype.kind != self.spec.dtype.kind \
+                and not np.can_cast(array.dtype, self.spec.dtype, casting="safe"):
+            # Within-kind narrowing (float64 -> float32) is C-style assignment
+            # and allowed; cross-kind casts must be value-preserving — int64
+            # into a float collective or complex into a real one would corrupt
+            # data silently.
+            raise ValidationError(
+                f"values of dtype {array.dtype} cannot be safely cast to the "
+                f"collective's {self.spec.dtype}; cast explicitly if truncation "
+                "is intended"
+            )
+        array = array.astype(self.spec.dtype, copy=False)
+        if array.shape != expected and array.shape != (n_owned, self.spec.item_size):
+            raise ValidationError(
+                f"rank {self.rank} owns {n_owned} items of size {self.spec.item_size}; "
+                f"values must have shape {expected}, got {array.shape}"
+            )
+        self._work[:n_owned] = array.reshape(n_owned, self.spec.item_size)
 
     # -- introspection ---------------------------------------------------------------
 
@@ -204,4 +320,5 @@ class PersistentNeighborCollective:
     def describe(self) -> str:
         """Short human-readable summary."""
         return (f"rank {self.rank}: {self.variant.value} collective, "
-                f"{self.messages_per_iteration()} messages/iteration")
+                f"{self.messages_per_iteration()} messages/iteration, "
+                f"{self.spec.item_size}x{self.spec.dtype.name} items")

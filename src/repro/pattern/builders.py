@@ -19,7 +19,8 @@ from repro.utils.validation import check_non_negative_int, check_positive_int
 
 def pattern_from_edges(n_ranks: int,
                        edges: Iterable[Tuple[int, int, Sequence[int]]],
-                       *, item_bytes: int = 8) -> CommPattern:
+                       *, item_bytes: int | None = None,
+                       dtype=np.float64, item_size: int = 1) -> CommPattern:
     """Build a pattern from ``(src, dest, item_ids)`` triples.
 
     Items for repeated ``(src, dest)`` pairs are concatenated in call order.
@@ -28,14 +29,16 @@ def pattern_from_edges(n_ranks: int,
     for src, dest, items in edges:
         bucket = sends.setdefault(int(src), {}).setdefault(int(dest), [])
         bucket.extend(int(i) for i in items)
-    return CommPattern(n_ranks, sends, item_bytes=item_bytes)
+    return CommPattern(n_ranks, sends, item_bytes=item_bytes,
+                       dtype=dtype, item_size=item_size)
 
 
 def random_pattern(n_ranks: int, *, avg_neighbors: float = 6.0,
                    avg_items_per_message: float = 12.0,
                    duplicate_fraction: float = 0.3,
                    items_per_rank: int = 64,
-                   seed: int = 0, item_bytes: int = 8) -> CommPattern:
+                   seed: int = 0, item_bytes: int | None = None,
+                   dtype=np.float64, item_size: int = 1) -> CommPattern:
     """Generate a random irregular pattern with controllable duplication.
 
     Every rank owns ``items_per_rank`` items with globally unique ids
@@ -75,12 +78,14 @@ def random_pattern(n_ranks: int, *, avg_neighbors: float = 6.0,
             else:
                 items = np.unique(unique_part)
             sends.setdefault(src, {})[int(dest)] = items
-    return CommPattern(n_ranks, sends, item_bytes=item_bytes)
+    return CommPattern(n_ranks, sends, item_bytes=item_bytes,
+                       dtype=dtype, item_size=item_size)
 
 
 def halo_exchange_pattern(grid_shape: Tuple[int, int], *, width: int = 1,
                           points_per_cell: int = 16,
-                          item_bytes: int = 8,
+                          item_bytes: int | None = None,
+                          dtype=np.float64, item_size: int = 1,
                           periodic: bool = False) -> CommPattern:
     """Structured 2-D halo exchange: every rank talks to its grid neighbors.
 
@@ -121,7 +126,8 @@ def halo_exchange_pattern(grid_shape: Tuple[int, int], *, width: int = 1,
                     continue
                 items = base + face_index * side + np.arange(side, dtype=np.int64)
                 sends.setdefault(src, {})[dest] = items
-    return CommPattern(n_ranks, sends, item_bytes=item_bytes)
+    return CommPattern(n_ranks, sends, item_bytes=item_bytes,
+                       dtype=dtype, item_size=item_size)
 
 
 def neighbor_lists(pattern: CommPattern, rank: int) -> Tuple[np.ndarray, np.ndarray]:

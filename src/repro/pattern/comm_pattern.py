@@ -29,17 +29,31 @@ class CommPattern:
     sends:
         ``sends[src][dest]`` is an array of item ids rank ``src`` must deliver
         to rank ``dest``.  Empty destination lists are dropped.
+    dtype:
+        Element dtype of one data item (default float64, the vector entries of
+        a SpMV halo exchange).
+    item_size:
+        Number of ``dtype`` components per item (1 for scalar unknowns; >1 for
+        vector-valued items such as LBM distribution sets).
     item_bytes:
-        Size in bytes of one data item (8 for the float64 vector entries of a
-        SpMV halo exchange).
+        Explicit size in bytes of one data item.  Defaults to
+        ``dtype.itemsize * item_size``; pass it only to model hypothetical
+        wire sizes that differ from the actual element type.
     """
 
     def __init__(self, n_ranks: int,
                  sends: Mapping[int, Mapping[int, Iterable[int]]],
-                 *, item_bytes: int = 8):
+                 *, item_bytes: int | None = None,
+                 dtype: np.dtype | type | str = np.float64,
+                 item_size: int = 1):
         check_positive_int("n_ranks", n_ranks)
-        check_positive_int("item_bytes", item_bytes)
+        check_positive_int("item_size", item_size)
         self.n_ranks = int(n_ranks)
+        self.dtype = np.dtype(dtype)
+        self.item_size = int(item_size)
+        if item_bytes is None:
+            item_bytes = self.dtype.itemsize * self.item_size
+        check_positive_int("item_bytes", item_bytes)
         self.item_bytes = int(item_bytes)
 
         cleaned: Dict[int, Dict[int, np.ndarray]] = {}
@@ -114,7 +128,8 @@ class CommPattern:
         transposed: Dict[int, Dict[int, np.ndarray]] = {}
         for src, dest, items in self.edges():
             transposed.setdefault(dest, {})[src] = items
-        return CommPattern(self.n_ranks, transposed, item_bytes=self.item_bytes)
+        return CommPattern(self.n_ranks, transposed, item_bytes=self.item_bytes,
+                           dtype=self.dtype, item_size=self.item_size)
 
     @property
     def n_messages(self) -> int:
@@ -150,7 +165,8 @@ class CommPattern:
         for src, dest, items in self.edges():
             if src in keep and dest in keep:
                 sends.setdefault(src, {})[dest] = items
-        return CommPattern(self.n_ranks, sends, item_bytes=self.item_bytes)
+        return CommPattern(self.n_ranks, sends, item_bytes=self.item_bytes,
+                           dtype=self.dtype, item_size=self.item_size)
 
     # -- comparison / utilities -----------------------------------------------------
 

@@ -9,6 +9,7 @@ immediately; a receive blocks until a matching envelope arrives.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from collections import deque
 from dataclasses import dataclass
@@ -30,11 +31,24 @@ class Envelope:
     payload: Any
 
     @property
+    def is_array(self) -> bool:
+        """True when the payload is a numpy buffer (data-path traffic)."""
+        return isinstance(self.payload, np.ndarray)
+
+    @property
     def nbytes(self) -> int:
-        """Payload size in bytes (0 for non-array payloads)."""
+        """Payload size in bytes.
+
+        Arrays report their exact buffer size; object payloads (setup-phase
+        control messages) are estimated via their pickled size, so traffic
+        accounting of the initialisation phase is no longer zero.
+        """
         if isinstance(self.payload, np.ndarray):
             return int(self.payload.nbytes)
-        return 0
+        try:
+            return len(pickle.dumps(self.payload, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            return 0
 
 
 _Key = Tuple[int, int, int, int]  # (dest, source, tag, context)

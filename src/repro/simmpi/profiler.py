@@ -28,6 +28,8 @@ class TrafficRecord:
     tag: int
     nbytes: int
     locality: Optional[Locality]
+    #: True for numpy data-path traffic, False for pickled setup-phase objects.
+    is_array: bool = True
 
 
 @dataclass
@@ -58,8 +60,8 @@ class TrafficProfiler:
 
     def record_envelope(self, envelope: Envelope) -> None:
         """Callback installed on :class:`SimComm`; records one sent envelope."""
-        nbytes = envelope.nbytes
-        if self.ignore_object_messages and nbytes == 0:
+        is_array = envelope.is_array
+        if self.ignore_object_messages and not is_array:
             return
         if self.ignore_self_messages and envelope.source == envelope.dest:
             return
@@ -67,7 +69,8 @@ class TrafficProfiler:
         if self.mapping is not None:
             locality = self.mapping.locality(envelope.source, envelope.dest)
         record = TrafficRecord(source=envelope.source, dest=envelope.dest,
-                               tag=envelope.tag, nbytes=nbytes, locality=locality)
+                               tag=envelope.tag, nbytes=envelope.nbytes,
+                               locality=locality, is_array=is_array)
         with self._lock:
             self._records.append(record)
 
@@ -89,6 +92,18 @@ class TrafficProfiler:
         summary = TrafficSummary()
         for record in self.records:
             summary.add(record.nbytes)
+        return summary
+
+    def object_traffic(self) -> TrafficSummary:
+        """Counters over setup-phase object messages (pickled-size estimates).
+
+        Only non-empty when the profiler was built with
+        ``ignore_object_messages=False``.
+        """
+        summary = TrafficSummary()
+        for record in self.records:
+            if not record.is_array:
+                summary.add(record.nbytes)
         return summary
 
     def by_locality(self) -> Dict[Locality, TrafficSummary]:

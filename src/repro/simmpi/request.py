@@ -67,7 +67,12 @@ class PersistentRequest(Request):
 
 
 class PersistentSendRequest(PersistentRequest):
-    """Persistent send: snapshots the buffer at every start and delivers eagerly."""
+    """Persistent send: snapshots the buffer at every start and delivers eagerly.
+
+    The buffer is kept as a *view* — callers post slices of a contiguous send
+    arena and repack the arena in place between starts; the single
+    ``np.array`` snapshot at start time is the simulated wire transfer.
+    """
 
     def __init__(self, fabric: MessageFabric, rank: int, dest: int, tag: int,
                  context: int, buffer: np.ndarray, *, on_start=None):
@@ -102,6 +107,10 @@ class PersistentRecvRequest(PersistentRequest):
         buffer = np.asarray(buffer)
         if not buffer.flags.writeable:
             raise CommunicationError("receive buffer must be writeable")
+        if not buffer.flags.c_contiguous:
+            # Arena slices along axis 0 are contiguous; anything else would
+            # silently lose the received data through a reshape copy.
+            raise CommunicationError("receive buffer must be C-contiguous")
         self.buffer = buffer
 
     def start(self) -> None:
@@ -118,6 +127,11 @@ class PersistentRecvRequest(PersistentRequest):
             raise CommunicationError(
                 f"receive buffer size {self.buffer.size} does not match message "
                 f"size {payload.size} (from rank {self.peer}, tag {self.tag})"
+            )
+        if payload.dtype != self.buffer.dtype:
+            raise CommunicationError(
+                f"receive buffer dtype {self.buffer.dtype} does not match message "
+                f"dtype {payload.dtype} (from rank {self.peer}, tag {self.tag})"
             )
         self.buffer.reshape(-1)[:] = payload.reshape(-1)
         self._active = False

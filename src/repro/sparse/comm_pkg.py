@@ -79,9 +79,16 @@ def build_comm_pkg(matrix: ParCSRMatrix) -> CommPkg:
     return pkg
 
 
-def pattern_from_parcsr(matrix: ParCSRMatrix, *, item_bytes: int = 8) -> CommPattern:
-    """The SpMV communication pattern of ``matrix`` as a :class:`CommPattern`."""
+def pattern_from_parcsr(matrix: ParCSRMatrix, *, item_bytes: int | None = None,
+                        dtype=np.float64, item_size: int = 1) -> CommPattern:
+    """The SpMV communication pattern of ``matrix`` as a :class:`CommPattern`.
+
+    ``dtype``/``item_size`` describe the exchanged vector entries (float64
+    scalars for a plain SpMV; wider items for multi-component unknowns) and
+    determine the modeled wire size unless ``item_bytes`` overrides it.
+    """
     pkg = build_comm_pkg(matrix)
     sends = {rank: {dest: items for dest, items in dests.items()}
              for rank, dests in pkg.send_items.items()}
-    return CommPattern(matrix.n_ranks, sends, item_bytes=item_bytes)
+    return CommPattern(matrix.n_ranks, sends, item_bytes=item_bytes,
+                       dtype=dtype, item_size=item_size)

@@ -65,10 +65,18 @@ class DistributedSpMV:
                                                 validate=False)
         self.collective = neighbor_alltoallv_init(
             graph_comm, send_items, recv_items, mapping,
-            variant=variant, strategy=strategy)
-        # Positions of the received entries in the offd product input.
-        self._offd_positions = {int(col): position
-                                for position, col in enumerate(self.blocks.col_map_offd)}
+            variant=variant, strategy=strategy, dtype=np.float64)
+        # The halo exchange is array-native: precompute the index arrays that
+        # connect the local vector to the dense exchange input and the dense
+        # halo output to the offd product input — the per-iteration path is
+        # then three fancy indexes and no per-item Python work.
+        first, _ = self.row_range
+        self._owned_positions = self.collective.owned_item_ids - first
+        col_map = self.blocks.col_map_offd
+        recv_ids = self.collective.recv_item_ids
+        sorter = np.argsort(col_map)
+        self._halo_positions = sorter[np.searchsorted(col_map, recv_ids,
+                                                      sorter=sorter)]
 
     @property
     def n_local_rows(self) -> int:
@@ -86,17 +94,12 @@ class DistributedSpMV:
             raise ValidationError(
                 f"x_local must have shape ({self.n_local_rows},), got {x_local.shape}"
             )
-        first, _ = self.row_range
-        owned_values = {int(first + i): float(x_local[i]) for i in range(x_local.size)}
-        received = self.collective.exchange(owned_values)
+        halo = self.collective.exchange(x_local[self._owned_positions])
 
         result = self.blocks.diag @ x_local
         if self.blocks.n_offd_cols:
             x_offd = np.zeros(self.blocks.n_offd_cols, dtype=np.float64)
-            for col, value in received.items():
-                position = self._offd_positions.get(int(col))
-                if position is not None:
-                    x_offd[position] = value
+            x_offd[self._halo_positions] = halo
             result = result + self.blocks.offd @ x_offd
         return result
 

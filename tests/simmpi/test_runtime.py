@@ -62,7 +62,15 @@ class TestMessageFabric:
         env = Envelope(source=0, dest=1, tag=0, context=0,
                        payload=np.zeros(10, dtype=np.float64))
         assert env.nbytes == 80
-        assert Envelope(source=0, dest=1, tag=0, context=0, payload="x").nbytes == 0
+        assert env.is_array
+        # Object payloads are estimated via their pickled size (setup-phase
+        # traffic must not be accounted as zero bytes).
+        obj = Envelope(source=0, dest=1, tag=0, context=0, payload="x")
+        assert not obj.is_array
+        assert obj.nbytes > 0
+        big = Envelope(source=0, dest=1, tag=0, context=0,
+                       payload={"items": list(range(1000))})
+        assert big.nbytes > obj.nbytes
 
 
 class TestPersistentRequests:
