@@ -18,9 +18,11 @@ from repro.collectives.plan import (
     Variant,
     Phase,
     Slot,
+    SlotTable,
     PlannedMessage,
     CollectivePlan,
     AGGREGATED_PHASES,
+    TERMINAL_PHASES,
 )
 from repro.collectives.aggregation import (
     BalanceStrategy,
@@ -30,6 +32,7 @@ from repro.collectives.aggregation import (
 )
 from repro.collectives.dedup import (
     unique_payload_keys,
+    unique_pairs_first_appearance,
     duplicate_item_count,
     dedup_savings_fraction,
     group_slots_by_final_dest,
@@ -60,14 +63,17 @@ __all__ = [
     "Variant",
     "Phase",
     "Slot",
+    "SlotTable",
     "PlannedMessage",
     "CollectivePlan",
     "AGGREGATED_PHASES",
+    "TERMINAL_PHASES",
     "BalanceStrategy",
     "AggregationAssignment",
     "setup_aggregation",
     "collect_region_traffic",
     "unique_payload_keys",
+    "unique_pairs_first_appearance",
     "duplicate_item_count",
     "dedup_savings_fraction",
     "group_slots_by_final_dest",

@@ -80,15 +80,23 @@ class AggregationAssignment:
 
 def collect_region_traffic(pattern: CommPattern, mapping: RankMapping
                            ) -> Dict[int, RegionTraffic]:
-    """Group the inter-region edges of ``pattern`` by (source region, dest region)."""
+    """Group the inter-region edges of ``pattern`` by (source region, dest region).
+
+    Region membership is resolved with one vectorized lookup over the per-edge
+    endpoint arrays instead of two mapping queries per edge.
+    """
+    srcs, dests, item_arrays = pattern.edge_lists()
     traffic: Dict[int, RegionTraffic] = {}
-    for src, dest, items in pattern.edges():
-        if src == dest or mapping.same_region(src, dest):
-            continue
-        src_region = mapping.region_of(src)
-        dest_region = mapping.region_of(dest)
+    if srcs.size == 0:
+        return traffic
+    src_regions = mapping.region_of_many(srcs)
+    dest_regions = mapping.region_of_many(dests)
+    inter = (srcs != dests) & (src_regions != dest_regions)
+    for index in np.flatnonzero(inter):
+        src_region = int(src_regions[index])
         bucket = traffic.setdefault(src_region, RegionTraffic(region=src_region))
-        bucket.per_pair.setdefault(dest_region, []).append((src, dest, items))
+        bucket.per_pair.setdefault(int(dest_regions[index]), []).append(
+            (int(srcs[index]), int(dests[index]), item_arrays[index]))
     return traffic
 
 

@@ -34,7 +34,7 @@ from repro.collectives.planner import make_plan
 from repro.pattern.comm_pattern import CommPattern
 from repro.simmpi.topo_comm import DistGraphComm
 from repro.topology.mapping import RankMapping
-from repro.utils.arrays import INDEX_DTYPE, counts_to_displs
+from repro.utils.arrays import INDEX_DTYPE, as_index_array, counts_to_displs
 from repro.utils.errors import CommunicationError, ValidationError
 
 
@@ -42,8 +42,13 @@ def _gather_pattern(graph_comm: DistGraphComm,
                     send_items: Mapping[int, Sequence[int]],
                     *, dtype: np.dtype, item_size: int,
                     item_bytes: int | None) -> CommPattern:
-    """Collectively assemble the global pattern from per-rank send maps."""
-    local = {int(dest): [int(i) for i in items] for dest, items in send_items.items()}
+    """Collectively assemble the global pattern from per-rank send maps.
+
+    Item lists travel as int64 arrays — no per-item Python conversion on
+    either side of the gather.
+    """
+    local = {int(dest): as_index_array(items)
+             for dest, items in send_items.items()}
     gathered = graph_comm.comm.allgather_obj(local)
     sends = {rank: entry for rank, entry in enumerate(gathered) if entry}
     return CommPattern(graph_comm.size, sends, item_bytes=item_bytes,
@@ -107,14 +112,15 @@ def neighbor_alltoallv_init(graph_comm: DistGraphComm,
     pattern = _gather_pattern(graph_comm, send_items, dtype=dtype,
                               item_size=item_size, item_bytes=item_bytes)
     # Cross-check the receive side against the globally assembled pattern: the
-    # items a rank expects must be exactly the items its sources declared.
+    # items a rank expects must be exactly the items its sources declared
+    # (duplicate-insensitive set comparison, vectorized per source).
     for src, items in recv_items.items():
-        declared = set(pattern.send_items(int(src), graph_comm.rank).tolist())
-        wanted = set(int(i) for i in items)
-        if wanted != declared:
+        declared = np.unique(pattern.send_items(int(src), graph_comm.rank))
+        wanted = np.unique(as_index_array(items))
+        if not np.array_equal(wanted, declared):
             raise CommunicationError(
-                f"rank {graph_comm.rank} expects items {sorted(wanted)[:5]}... from rank "
-                f"{src} but that rank declared {sorted(declared)[:5]}..."
+                f"rank {graph_comm.rank} expects items {wanted[:5].tolist()}... from rank "
+                f"{src} but that rank declared {declared[:5].tolist()}..."
             )
     plan = make_plan(pattern, mapping, variant, strategy=strategy)
     return PersistentNeighborCollective(graph_comm.comm, plan,

@@ -1,14 +1,20 @@
 """Compiled, array-native execution form of a collective plan.
 
-A :class:`CollectivePlan` describes *what* moves (slots and payload keys); this
-module compiles one rank's share of a plan into *how* it moves on dense numpy
-buffers.  The compiled form replaces the item-keyed-dict data path: every value
-a rank ever holds during one exchange — its owned items plus everything it
-receives in any phase — is assigned a row of a dense *work array*, and every
-message gets a precomputed gather (pack) or scatter (unpack) index into that
-array.  Per-iteration packing is then a single fancy-index per phase
-(``arena = work[gather]``) and unpacking its mirror (``work[scatter] = arena``),
-with no per-item Python loops anywhere on the Start/Wait path.
+A :class:`CollectivePlan` describes *what* moves (slot tables and payload
+keys); this module compiles one rank's share of a plan into *how* it moves on
+dense numpy buffers.  The compiled form replaces the item-keyed-dict data
+path: every value a rank ever holds during one exchange — its owned items plus
+everything it receives in any phase — is assigned a row of a dense *work
+array*, and every message gets a precomputed gather (pack) or scatter (unpack)
+index into that array.  Per-iteration packing is then a single fancy-index per
+phase (``arena = work[gather]``) and unpacking its mirror
+(``work[scatter] = arena``), with no per-item Python loops anywhere on the
+Start/Wait path.
+
+Compilation itself is columnar too: it consumes each message's payload arrays
+directly and resolves all keys of a schedule step with one lexsort-based
+batch lookup, instead of walking slot objects through a Python dict one key at
+a time.
 
 The compilation is dtype-generic: an :class:`ExchangeSpec` carries the element
 dtype and the number of components per item (``item_size`` — e.g. the
@@ -19,7 +25,7 @@ unknown), and the work array has shape ``(n_rows, item_size)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +36,7 @@ from repro.collectives.plan import (
     PlannedMessage,
     Variant,
 )
-from repro.utils.arrays import INDEX_DTYPE
+from repro.utils.arrays import INDEX_DTYPE, counts_to_displs, run_starts_mask
 from repro.utils.errors import PlanError, ValidationError
 
 #: Compile-time availability schedules, mirroring the *runtime* order of the
@@ -126,23 +132,83 @@ class CompiledExchange:
         return int(self.result_items.size)
 
 
-def _message_rows(message: PlannedMessage, rows: Dict[Tuple[int, int], int],
-                  *, allow_new: bool) -> List[int]:
-    """Work-array rows of a message's payload keys, in packing order."""
-    out: List[int] = []
-    for key in message.payload_keys:
-        row = rows.get(key)
-        if row is None:
-            if not allow_new:
-                raise PlanError(
-                    f"phase-{message.phase.value} message {message.src}->"
-                    f"{message.dest} packs origin {key[0]}, item {key[1]} which the "
-                    "sending rank neither owns nor received in an earlier phase"
-                )
-            row = len(rows)
-            rows[key] = row
-        out.append(row)
-    return out
+class _RowMap:
+    """Vectorized ``(origin, item) -> work-array row`` mapping.
+
+    Rows are assigned in registration order: the owned keys occupy rows
+    ``[0, n_owned)`` and every batch of newly received keys appends rows in
+    first-appearance order — exactly the order the per-key dict of the
+    slot-list compiler produced.
+    """
+
+    def __init__(self, origins: np.ndarray, items: np.ndarray):
+        self._origin_chunks = [np.asarray(origins, dtype=INDEX_DTYPE)]
+        self._item_chunks = [np.asarray(items, dtype=INDEX_DTYPE)]
+        self.n_rows = int(self._origin_chunks[0].size)
+
+    def _known(self) -> Tuple[np.ndarray, np.ndarray]:
+        if len(self._origin_chunks) > 1:
+            self._origin_chunks = [np.concatenate(self._origin_chunks)]
+            self._item_chunks = [np.concatenate(self._item_chunks)]
+        return self._origin_chunks[0], self._item_chunks[0]
+
+    def resolve(self, query_origins: np.ndarray, query_items: np.ndarray, *,
+                allow_new: bool) -> np.ndarray:
+        """Rows of the queried keys; unknown keys are registered or marked -1.
+
+        One lexsort over (known keys + queries) recovers the key groups; known
+        keys seed each group with their row, queries inherit it.  With
+        ``allow_new`` the unmatched groups get fresh rows in first-appearance
+        order of the query batch.
+        """
+        if query_origins.size == 0:
+            return np.empty(0, dtype=INDEX_DTYPE)
+        known_origins, known_items = self._known()
+        n_known = known_origins.size
+        all_origins = np.concatenate([known_origins, query_origins])
+        all_items = np.concatenate([known_items, query_items])
+        order = np.lexsort((all_items, all_origins))
+        new_group = run_starts_mask(all_origins[order], all_items[order])
+        group_sorted = np.cumsum(new_group) - 1
+        group_of = np.empty(order.size, dtype=INDEX_DTYPE)
+        group_of[order] = group_sorted
+        row_of_group = np.full(int(group_sorted[-1]) + 1, -1, dtype=INDEX_DTYPE)
+        row_of_group[group_of[:n_known]] = np.arange(n_known, dtype=INDEX_DTYPE)
+
+        query_groups = group_of[n_known:]
+        rows = row_of_group[query_groups]
+        unknown = rows < 0
+        if not unknown.any() or not allow_new:
+            return rows
+        missing_groups = query_groups[unknown]
+        unique_groups, first_position = np.unique(missing_groups,
+                                                  return_index=True)
+        appearance = np.argsort(first_position, kind="stable")
+        row_of_group[unique_groups[appearance]] = self.n_rows + np.arange(
+            unique_groups.size, dtype=INDEX_DTYPE)
+        rows[unknown] = row_of_group[missing_groups]
+        # Register the new keys in row order so later lookups resolve them.
+        unknown_positions = np.flatnonzero(unknown)
+        firsts = unknown_positions[first_position[appearance]]
+        self._origin_chunks.append(np.asarray(query_origins[firsts],
+                                              dtype=INDEX_DTYPE))
+        self._item_chunks.append(np.asarray(query_items[firsts],
+                                            dtype=INDEX_DTYPE))
+        self.n_rows += int(unique_groups.size)
+        return rows
+
+
+def _payload_columns(messages: Sequence[PlannedMessage]
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenated payload key columns and per-message offsets of a step."""
+    if not messages:
+        empty = np.empty(0, dtype=INDEX_DTYPE)
+        return empty, empty, np.zeros(1, dtype=INDEX_DTYPE)
+    counts = np.fromiter((m.payload_origins.size for m in messages),
+                         dtype=INDEX_DTYPE, count=len(messages))
+    origins = np.concatenate([m.payload_origins for m in messages])
+    items = np.concatenate([m.payload_items for m in messages])
+    return origins, items, counts_to_displs(counts)
 
 
 def compile_exchange(plan: CollectivePlan, rank: int,
@@ -160,29 +226,43 @@ def compile_exchange(plan: CollectivePlan, rank: int,
     # Rows [0, n_owned) are the rank's owned items in ascending-id order; that
     # order is the array API's input convention.
     send_map = pattern.send_map(rank)
-    owned_ids = sorted({int(item) for items in send_map.values()
-                        for item in items.tolist()})
-    rows: Dict[Tuple[int, int], int] = {(rank, item): position
-                                        for position, item in enumerate(owned_ids)}
+    if send_map:
+        owned_ids = np.unique(np.concatenate(list(send_map.values())))
+    else:
+        owned_ids = np.empty(0, dtype=INDEX_DTYPE)
+    rows = _RowMap(np.full(owned_ids.size, rank, dtype=INDEX_DTYPE), owned_ids)
 
     if plan.variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
         order, schedule = (Phase.DIRECT,), _DIRECT_SCHEDULE
     else:
         order, schedule = AGGREGATED_PHASES, _AGGREGATED_SCHEDULE
-    gathers: Dict[Phase, Tuple[List[int], List[int]]] = {}
-    scatters: Dict[Phase, Tuple[List[int], List[int]]] = {}
+    gathers: Dict[Phase, Tuple[np.ndarray, np.ndarray]] = {}
+    scatters: Dict[Phase, Tuple[np.ndarray, np.ndarray]] = {}
+    send_lists: Dict[Phase, List[PlannedMessage]] = {}
+    recv_lists: Dict[Phase, List[PlannedMessage]] = {}
     for side, phase in schedule:
-        indices: List[int] = []
-        offsets = [0]
         if side == "send":
-            for message in plan.messages_from(rank, phase):
-                indices.extend(_message_rows(message, rows, allow_new=False))
-                offsets.append(len(indices))
+            messages = plan.messages_from(rank, phase)
+            origins, items, offsets = _payload_columns(messages)
+            indices = rows.resolve(origins, items, allow_new=False)
+            unknown = indices < 0
+            if unknown.any():
+                position = int(np.argmax(unknown))
+                message = messages[int(np.searchsorted(offsets, position,
+                                                       side="right")) - 1]
+                raise PlanError(
+                    f"phase-{phase.value} message {message.src}->"
+                    f"{message.dest} packs origin {int(origins[position])}, item "
+                    f"{int(items[position])} which the "
+                    "sending rank neither owns nor received in an earlier phase"
+                )
+            send_lists[phase] = messages
             gathers[phase] = (indices, offsets)
         else:
-            for message in plan.messages_to(rank, phase):
-                indices.extend(_message_rows(message, rows, allow_new=True))
-                offsets.append(len(indices))
+            messages = plan.messages_to(rank, phase)
+            origins, items, offsets = _payload_columns(messages)
+            indices = rows.resolve(origins, items, allow_new=True)
+            recv_lists[phase] = messages
             scatters[phase] = (indices, offsets)
     phases: List[CompiledPhase] = []
     for phase in order:
@@ -190,44 +270,52 @@ def compile_exchange(plan: CollectivePlan, rank: int,
         scatter, recv_offsets = scatters[phase]
         phases.append(CompiledPhase(
             phase=phase,
-            send_messages=plan.messages_from(rank, phase),
-            recv_messages=plan.messages_to(rank, phase),
-            gather=np.asarray(gather, dtype=INDEX_DTYPE),
-            scatter=np.asarray(scatter, dtype=INDEX_DTYPE),
-            send_offsets=np.asarray(send_offsets, dtype=INDEX_DTYPE),
-            recv_offsets=np.asarray(recv_offsets, dtype=INDEX_DTYPE),
+            send_messages=send_lists[phase],
+            recv_messages=recv_lists[phase],
+            gather=np.ascontiguousarray(gather, dtype=INDEX_DTYPE),
+            scatter=np.ascontiguousarray(scatter, dtype=INDEX_DTYPE),
+            send_offsets=np.ascontiguousarray(send_offsets, dtype=INDEX_DTYPE),
+            recv_offsets=np.ascontiguousarray(recv_offsets, dtype=INDEX_DTYPE),
         ))
 
     # Output view: every item the pattern says this rank receives (including
     # self-sends) must have a row by now — either owned, or delivered by some
     # phase, or a self-delivery of the aggregation (the receive leader is the
     # final destination, so the key arrived with the global phase).
-    expected: Dict[int, int] = {}
-    for src, items in pattern.recv_map(rank).items():
-        for item in items.tolist():
-            expected[int(item)] = int(src)
-    result_items = np.asarray(sorted(expected), dtype=INDEX_DTYPE)
-    result_sources = np.asarray([expected[int(item)] for item in result_items],
-                                dtype=INDEX_DTYPE)
-    result_rows = np.empty(result_items.size, dtype=INDEX_DTYPE)
-    for position, (item, src) in enumerate(zip(result_items.tolist(),
-                                               result_sources.tolist())):
-        row = rows.get((src, item))
-        if row is None:
-            raise PlanError(
-                f"rank {rank} expects item {item} from rank {src} but no phase of "
-                "the plan delivers it"
-            )
-        result_rows[position] = row
+    recv_map = pattern.recv_map(rank)
+    if recv_map:
+        sources = np.concatenate([
+            np.full(items.size, src, dtype=INDEX_DTYPE)
+            for src, items in recv_map.items()
+        ])
+        received = np.concatenate(list(recv_map.values()))
+        # When several sources declare the same item the last declaration
+        # wins, matching the dict-accumulation order of the seed compiler.
+        result_items, reversed_first = np.unique(received[::-1],
+                                                 return_index=True)
+        last_occurrence = received.size - 1 - reversed_first
+        result_sources = sources[last_occurrence]
+    else:
+        result_items = np.empty(0, dtype=INDEX_DTYPE)
+        result_sources = np.empty(0, dtype=INDEX_DTYPE)
+    result_rows = rows.resolve(result_sources, result_items, allow_new=False)
+    undelivered = result_rows < 0
+    if undelivered.any():
+        position = int(np.argmax(undelivered))
+        raise PlanError(
+            f"rank {rank} expects item {int(result_items[position])} from rank "
+            f"{int(result_sources[position])} but no phase of "
+            "the plan delivers it"
+        )
 
     return CompiledExchange(
         rank=rank,
         variant=plan.variant,
         spec=spec,
-        n_rows=len(rows),
-        owned_items=np.asarray(owned_ids, dtype=INDEX_DTYPE),
-        result_items=result_items,
-        result_sources=result_sources,
-        result_rows=result_rows,
+        n_rows=rows.n_rows,
+        owned_items=np.ascontiguousarray(owned_ids, dtype=INDEX_DTYPE),
+        result_items=np.ascontiguousarray(result_items, dtype=INDEX_DTYPE),
+        result_sources=np.ascontiguousarray(result_sources, dtype=INDEX_DTYPE),
+        result_rows=np.ascontiguousarray(result_rows, dtype=INDEX_DTYPE),
         phases=phases,
     )

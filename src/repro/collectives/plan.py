@@ -11,6 +11,14 @@ Plans are explicit: every message of every phase lists the *slots*
 ``(origin, item, final_dest)`` it carries, so a plan can be validated against
 the original pattern (every required delivery happens exactly once) without
 executing anything.
+
+Slots are stored **columnar**: a :class:`SlotTable` holds three parallel int64
+arrays (``origin`` / ``item`` / ``final_dest``), which is what lets the
+statistics, setup-cost, and validation passes run as ``np.bincount`` /
+``np.unique`` multiset operations instead of per-slot Python loops.  The
+scalar :class:`Slot` NamedTuple survives as the element type:
+``PlannedMessage.slots`` and iteration over a table materialise Slot views
+lazily, so existing per-slot callers keep working unchanged.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from repro.pattern.comm_pattern import CommPattern
 from repro.pattern.statistics import PatternStatistics
 from repro.perfmodel.base import CostModel, MessageCost
 from repro.topology.mapping import RankMapping
+from repro.utils.arrays import INDEX_DTYPE, frozen_copy_on_write, run_starts_mask
 from repro.utils.errors import PlanError
 
 
@@ -63,6 +72,15 @@ AGGREGATED_PHASES: Tuple[Phase, ...] = (
     Phase.LOCAL, Phase.SETUP_REDIST, Phase.GLOBAL, Phase.FINAL_REDIST,
 )
 
+#: Terminal phases per variant: the phases whose messages (plus
+#: self-deliveries) realise the pattern's required deliveries.
+TERMINAL_PHASES: Dict[Variant, Tuple[Phase, ...]] = {
+    Variant.POINT_TO_POINT: (Phase.DIRECT,),
+    Variant.STANDARD: (Phase.DIRECT,),
+    Variant.PARTIAL: (Phase.LOCAL, Phase.FINAL_REDIST),
+    Variant.FULL: (Phase.LOCAL, Phase.FINAL_REDIST),
+}
+
 
 class Slot(NamedTuple):
     """One routed data item: value ``item`` owned by ``origin`` bound for ``final_dest``."""
@@ -72,39 +90,311 @@ class Slot(NamedTuple):
     final_dest: int
 
 
-@dataclass
+def _index_column(values) -> np.ndarray:
+    """Coerce one column to a read-only contiguous int64 array.
+
+    Any result still sharing writable memory with a caller's array (including
+    through reshapes or read-only views of writable buffers) is copied before
+    freezing, so the stored column can neither mutate through the caller's
+    reference nor freeze the caller's own array.  Arrays we created — or that
+    are provably immutable — are frozen in place without a copy.
+    """
+    arr = np.asarray(values, dtype=INDEX_DTYPE)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return frozen_copy_on_write(np.ascontiguousarray(arr), values)
+
+
+class SlotTable:
+    """Columnar slot storage: parallel read-only int64 arrays.
+
+    The table is the unit the planner, the statistics pass, and the validator
+    operate on; per-slot access (iteration, indexing, ``to_slots``) exists only
+    as a compatibility view and materialises :class:`Slot` tuples on demand.
+    """
+
+    __slots__ = ("origin", "item", "final_dest")
+
+    def __init__(self, origin, item, final_dest):
+        self.origin = _index_column(origin)
+        self.item = _index_column(item)
+        self.final_dest = _index_column(final_dest)
+        if not (self.origin.size == self.item.size == self.final_dest.size):
+            raise PlanError(
+                f"slot table columns disagree in length: "
+                f"{self.origin.size}/{self.item.size}/{self.final_dest.size}"
+            )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def _wrap(cls, origin: np.ndarray, item: np.ndarray,
+              final_dest: np.ndarray) -> "SlotTable":
+        """Trusted constructor: columns must already be parallel 1-D int64.
+
+        The planners call this with slices of arrays they froze wholesale, so
+        per-message construction does no validation or flag work.
+        """
+        table = cls.__new__(cls)
+        table.origin = origin
+        table.item = item
+        table.final_dest = final_dest
+        return table
+
+    @classmethod
+    def empty(cls) -> "SlotTable":
+        """A table with no slots."""
+        zero = np.empty(0, dtype=INDEX_DTYPE)
+        return cls(zero, zero, zero)
+
+    @classmethod
+    def from_slots(cls, slots: Iterable[Tuple[int, int, int]]) -> "SlotTable":
+        """Build a table from an iterable of ``Slot`` (or 3-tuples)."""
+        slots = list(slots)
+        if not slots:
+            return cls.empty()
+        triples = np.asarray(slots, dtype=INDEX_DTYPE)
+        if triples.ndim != 2 or triples.shape[1] != 3:
+            raise PlanError("slots must be (origin, item, final_dest) triples")
+        return cls(triples[:, 0], triples[:, 1], triples[:, 2])
+
+    @classmethod
+    def concat(cls, tables: Sequence["SlotTable"]) -> "SlotTable":
+        """Concatenate tables in order (zero-copy for a single table)."""
+        tables = [t for t in tables if t.origin.size]
+        if not tables:
+            return cls.empty()
+        if len(tables) == 1:
+            return tables[0]
+        columns = (np.concatenate([t.origin for t in tables]),
+                   np.concatenate([t.item for t in tables]),
+                   np.concatenate([t.final_dest for t in tables]))
+        for column in columns:
+            column.flags.writeable = False
+        return cls._wrap(*columns)
+
+    # -- array-level operations ------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "SlotTable":
+        """Rows selected by an index (or boolean mask) array."""
+        columns = (self.origin[indices], self.item[indices],
+                   self.final_dest[indices])
+        for column in columns:
+            column.flags.writeable = False
+        return SlotTable._wrap(*columns)
+
+    def triples(self) -> np.ndarray:
+        """``(n, 3)`` array of ``(origin, item, final_dest)`` rows."""
+        return np.column_stack((self.origin, self.item, self.final_dest))
+
+    # -- compatibility views ---------------------------------------------------
+
+    def to_slots(self) -> List[Slot]:
+        """Materialise the per-slot view (compatibility; O(n) Python objects)."""
+        return [Slot(o, i, d) for o, i, d in zip(self.origin.tolist(),
+                                                 self.item.tolist(),
+                                                 self.final_dest.tolist())]
+
+    def __len__(self) -> int:
+        return int(self.origin.size)
+
+    def __iter__(self) -> Iterator[Slot]:
+        return iter(self.to_slots())
+
+    def __getitem__(self, index: int) -> Slot:
+        return Slot(int(self.origin[index]), int(self.item[index]),
+                    int(self.final_dest[index]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SlotTable):
+            return NotImplemented
+        return (np.array_equal(self.origin, other.origin)
+                and np.array_equal(self.item, other.item)
+                and np.array_equal(self.final_dest, other.final_dest))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlotTable(n={len(self)})"
+
+
+def _as_slot_table(slots) -> SlotTable:
+    """Accept a SlotTable or any iterable of Slot/3-tuples."""
+    if isinstance(slots, SlotTable):
+        return slots
+    return SlotTable.from_slots(slots or [])
+
+
 class PlannedMessage:
     """One message of a plan.
 
-    ``slots`` describe the routing work the message performs; ``payload_keys``
-    are the ``(origin, item)`` values physically packed into the buffer, in
-    packing order.  For deduplicated messages ``len(payload_keys)`` is smaller
-    than ``len(slots)``.
+    The routing work lives in ``table`` (a :class:`SlotTable`); the
+    ``(origin, item)`` values physically packed into the buffer live in the
+    parallel ``payload_origins`` / ``payload_items`` arrays, in packing order.
+    For deduplicated messages the payload is shorter than the table.
+
+    ``slots`` and ``payload_keys`` are lazy per-element compatibility views;
+    the constructor also accepts them in their legacy list forms.
     """
 
-    phase: Phase
-    src: int
-    dest: int
-    slots: List[Slot]
-    payload_keys: List[Tuple[int, int]] = field(default=None)
+    __slots__ = ("phase", "src", "dest", "table",
+                 "payload_origins", "payload_items",
+                 "_slots_view", "_payload_view")
 
-    def __post_init__(self):
+    def __init__(self, phase: Phase, src: int, dest: int,
+                 slots=None, payload_keys=None):
+        self.phase = phase
+        self.src = int(src)
+        self.dest = int(dest)
         if self.src == self.dest:
             raise PlanError(f"message with identical endpoints (rank {self.src})")
-        if not self.slots:
+        self.table = _as_slot_table(slots)
+        if not len(self.table):
             raise PlanError(f"empty message {self.src}->{self.dest} in phase {self.phase}")
-        if self.payload_keys is None:
-            self.payload_keys = [(slot.origin, slot.item) for slot in self.slots]
-        if not self.payload_keys:
+        if payload_keys is None:
+            self.payload_origins = self.table.origin
+            self.payload_items = self.table.item
+        else:
+            pairs = np.asarray(list(payload_keys), dtype=INDEX_DTYPE)
+            if pairs.size == 0:
+                raise PlanError("message carries no payload")
+            self.payload_origins = _index_column(pairs[:, 0])
+            self.payload_items = _index_column(pairs[:, 1])
+        if self.payload_origins.size == 0:
             raise PlanError("message carries no payload")
+        self._slots_view = None
+        self._payload_view = None
+
+    @classmethod
+    def from_table(cls, phase: Phase, src: int, dest: int, table: SlotTable,
+                   payload_origins: np.ndarray | None = None,
+                   payload_items: np.ndarray | None = None) -> "PlannedMessage":
+        """Columnar constructor used by the planners (no per-slot objects).
+
+        Payload arrays, when given, are trusted to be parallel 1-D int64.
+        """
+        message = cls.__new__(cls)
+        message.phase = phase
+        message.src = int(src)
+        message.dest = int(dest)
+        if message.src == message.dest:
+            raise PlanError(f"message with identical endpoints (rank {message.src})")
+        message.table = table
+        if not table.origin.size:
+            raise PlanError(
+                f"empty message {message.src}->{message.dest} in phase {phase}")
+        if payload_origins is None:
+            message.payload_origins = table.origin
+            message.payload_items = table.item
+        else:
+            message.payload_origins = payload_origins
+            message.payload_items = payload_items
+        if message.payload_origins.size == 0:
+            raise PlanError("message carries no payload")
+        message._slots_view = None
+        message._payload_view = None
+        return message
+
+    # -- compatibility views ---------------------------------------------------
+
+    @property
+    def slots(self) -> List[Slot]:
+        """Lazy per-slot view of ``table`` (kept for existing callers)."""
+        if self._slots_view is None:
+            self._slots_view = self.table.to_slots()
+        return self._slots_view
+
+    @property
+    def payload_keys(self) -> List[Tuple[int, int]]:
+        """Lazy ``(origin, item)`` pair view of the packed payload."""
+        if self._payload_view is None:
+            self._payload_view = list(zip(self.payload_origins.tolist(),
+                                          self.payload_items.tolist()))
+        return self._payload_view
+
+    # -- sizes -----------------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        """Routing entries the message performs."""
+        return len(self.table)
 
     def payload_count(self) -> int:
         """Number of values physically transferred."""
-        return len(self.payload_keys)
+        return int(self.payload_origins.size)
 
     def nbytes(self, item_bytes: int) -> int:
         """Payload size in bytes."""
         return self.payload_count() * item_bytes
+
+    def __eq__(self, other: object) -> bool:
+        """Field equality, matching the seed's dataclass semantics."""
+        if not isinstance(other, PlannedMessage):
+            return NotImplemented
+        return (self.phase is other.phase
+                and self.src == other.src and self.dest == other.dest
+                and self.table == other.table
+                and np.array_equal(self.payload_origins, other.payload_origins)
+                and np.array_equal(self.payload_items, other.payload_items))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PlannedMessage({self.phase.value}, {self.src}->{self.dest}, "
+                f"slots={self.n_slots}, payload={self.payload_count()})")
+
+
+#: Column triple ``(origins, items, final_dests)`` — the multiset element layout.
+_Columns = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _triple_groups(origins: np.ndarray, items: np.ndarray, dests: np.ndarray):
+    """Lexicographic group ids of ``(origin, item, dest)`` triples.
+
+    Returns ``(group_of, unique_columns)``: ``group_of[k]`` is the dense id of
+    row ``k``'s triple, and ``unique_columns`` holds one representative triple
+    per id, sorted lexicographically.  One int64 lexsort — far faster than
+    ``np.unique(..., axis=0)``'s void-dtype sort.
+    """
+    order = np.lexsort((dests, items, origins))
+    sorted_origins = origins[order]
+    sorted_items = items[order]
+    sorted_dests = dests[order]
+    new_group = run_starts_mask(sorted_origins, sorted_items, sorted_dests)
+    group_sorted = np.cumsum(new_group) - 1
+    group_of = np.empty(order.size, dtype=INDEX_DTYPE)
+    group_of[order] = group_sorted
+    starts = np.flatnonzero(new_group)
+    unique_columns = (sorted_origins[starts], sorted_items[starts],
+                      sorted_dests[starts])
+    return group_of, unique_columns
+
+
+def _multiset_compare(required: _Columns, delivered: _Columns):
+    """Compare two delivery multisets (column triples) with one lexsort pass.
+
+    Returns ``(unique_columns, missing_ids, spurious_ids, duplicated_ids)``
+    where the id arrays index into ``unique_columns`` (sorted
+    lexicographically, so ids ascend in tuple order).
+    """
+    n_required = required[0].size
+    origins = np.concatenate([required[0], delivered[0]])
+    items = np.concatenate([required[1], delivered[1]])
+    dests = np.concatenate([required[2], delivered[2]])
+    if origins.size == 0:
+        empty = np.empty(0, dtype=INDEX_DTYPE)
+        return (empty, empty, empty), empty, empty, empty
+    group_of, unique_columns = _triple_groups(origins, items, dests)
+    n_groups = unique_columns[0].size
+    required_counts = np.bincount(group_of[:n_required], minlength=n_groups)
+    delivered_counts = np.bincount(group_of[n_required:], minlength=n_groups)
+    missing = np.flatnonzero((required_counts > 0) & (delivered_counts == 0))
+    spurious = np.flatnonzero((delivered_counts > 0) & (required_counts == 0))
+    duplicated = np.flatnonzero(delivered_counts > 1)
+    return unique_columns, missing, spurious, duplicated
+
+
+def _example_rows(unique_columns: _Columns, ids: np.ndarray, limit: int = 3):
+    """First few offending triples as plain tuples for error messages."""
+    origins, items, dests = unique_columns
+    return [(int(origins[i]), int(items[i]), int(dests[i]))
+            for i in ids[:limit]]
 
 
 @dataclass
@@ -117,7 +407,11 @@ class CollectivePlan:
     phases: Dict[Phase, List[PlannedMessage]]
     #: Deliveries satisfied without any message (origin already at destination,
     #: or an aggregator that is itself the final destination).
-    self_deliveries: List[Slot] = field(default_factory=list)
+    self_deliveries: SlotTable = field(default_factory=SlotTable.empty)
+
+    def __post_init__(self):
+        if not isinstance(self.self_deliveries, SlotTable):
+            self.self_deliveries = SlotTable.from_slots(self.self_deliveries)
 
     # -- iteration ------------------------------------------------------------
 
@@ -147,35 +441,69 @@ class CollectivePlan:
         """Total message count across all phases."""
         return sum(len(msgs) for msgs in self.phases.values())
 
+    # -- columnar message views ------------------------------------------------
+
+    def _message_columns(self, messages: Sequence[PlannedMessage]):
+        """``(srcs, dests, payload_counts, slot_counts)`` arrays of a message list."""
+        columns = np.array(
+            [(m.src, m.dest, m.payload_origins.size, m.table.origin.size)
+             for m in messages], dtype=INDEX_DTYPE).reshape(len(messages), 4)
+        return columns[:, 0], columns[:, 1], columns[:, 2], columns[:, 3]
+
     # -- statistics (Figures 8-10) -----------------------------------------------
 
     def statistics(self) -> PatternStatistics:
         """Per-rank local / inter-region message and byte counts (sender side)."""
         stats = PatternStatistics(n_ranks=self.pattern.n_ranks)
-        for message in self.messages():
-            is_local = self.mapping.same_region(message.src, message.dest)
-            stats.add_message(message.src, is_local, message.nbytes(self.item_bytes))
+        messages = list(self.messages())
+        if not messages:
+            return stats
+        srcs, dests, payloads, _ = self._message_columns(messages)
+        is_local = self.mapping.same_region_many(srcs, dests)
+        stats.add_messages(srcs, is_local, payloads * self.item_bytes)
         return stats
 
     def max_global_message_bytes(self) -> int:
         """Largest single inter-region message (Figure 10 uses the per-process max)."""
-        sizes = [m.nbytes(self.item_bytes) for m in self.messages()
-                 if not self.mapping.same_region(m.src, m.dest)]
-        return max(sizes, default=0)
+        messages = list(self.messages())
+        if not messages:
+            return 0
+        srcs, dests, payloads, _ = self._message_columns(messages)
+        inter = ~self.mapping.same_region_many(srcs, dests)
+        if not inter.any():
+            return 0
+        return int((payloads[inter] * self.item_bytes).max())
 
     def global_payload_items(self) -> int:
         """Total number of values crossing region boundaries."""
-        return sum(m.payload_count() for m in self.messages()
-                   if not self.mapping.same_region(m.src, m.dest))
+        messages = list(self.messages())
+        if not messages:
+            return 0
+        srcs, dests, payloads, _ = self._message_columns(messages)
+        inter = ~self.mapping.same_region_many(srcs, dests)
+        return int(payloads[inter].sum())
 
     # -- modeled time (Figures 7, 11-13) --------------------------------------------
 
     def _phase_time(self, model: CostModel, phase: Phase) -> float:
+        messages = self.phases.get(phase, [])
+        if not messages:
+            return model.phase_time({})
+        srcs, dests, payloads, _ = self._message_columns(messages)
+        nbytes = payloads * self.item_bytes
+        localities = self.mapping.locality_many(srcs, dests)
+        # Group messages by sender with one sort instead of dict appends.
+        order = np.argsort(srcs, kind="stable")
+        sorted_srcs = srcs[order]
+        starts = np.flatnonzero(run_starts_mask(sorted_srcs))
+        bounds = np.append(starts, sorted_srcs.size)
         per_process: Dict[int, List[MessageCost]] = {}
-        for message in self.phases.get(phase, []):
-            cost = MessageCost(nbytes=message.nbytes(self.item_bytes),
-                               locality=self.mapping.locality(message.src, message.dest))
-            per_process.setdefault(message.src, []).append(cost)
+        for begin, end in zip(bounds[:-1], bounds[1:]):
+            indices = order[begin:end]
+            per_process[int(sorted_srcs[begin])] = [
+                MessageCost(nbytes=int(nbytes[i]), locality=localities[i])
+                for i in indices
+            ]
         return model.phase_time(per_process)
 
     def modeled_time(self, model: CostModel) -> float:
@@ -204,51 +532,104 @@ class CollectivePlan:
         happens in parallel, so the proxies are the *maximum over processes*,
         not totals.
         """
-        messages_per_rank: Dict[int, int] = {}
-        slot_bytes_per_rank: Dict[int, int] = {}
-        for message in self.messages():
-            for endpoint in (message.src, message.dest):
-                messages_per_rank[endpoint] = messages_per_rank.get(endpoint, 0) + 1
-                slot_bytes_per_rank[endpoint] = (slot_bytes_per_rank.get(endpoint, 0)
-                                                 + len(message.slots) * 3 * 8)
-        max_messages = max(messages_per_rank.values(), default=0)
-        max_slot_bytes = max(slot_bytes_per_rank.values(), default=0)
-        return max_messages, max_slot_bytes
+        messages = list(self.messages())
+        if not messages:
+            return 0, 0
+        srcs, dests, _, slot_counts = self._message_columns(messages)
+        endpoints = np.concatenate([srcs, dests])
+        slot_bytes = np.concatenate([slot_counts, slot_counts]) * (3 * 8)
+        length = int(endpoints.max()) + 1
+        messages_per_rank = np.bincount(endpoints, minlength=length)
+        slot_bytes_per_rank = np.bincount(endpoints, weights=slot_bytes,
+                                          minlength=length)
+        return int(messages_per_rank.max()), int(slot_bytes_per_rank.max())
 
     # -- validation -------------------------------------------------------------------
 
+    def _required_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(origin, item, final_dest)`` columns the pattern requires."""
+        origins, dests, items = self.pattern.edge_arrays()
+        return origins, items, dests
+
+    def _planned_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Delivery columns the plan performs (terminal phases plus self-deliveries).
+
+        Raises :class:`PlanError` when a terminal message carries a slot whose
+        final destination is not the message destination (one vectorized
+        comparison over all terminal slots).
+        """
+        messages = [message
+                    for phase in TERMINAL_PHASES[self.variant]
+                    for message in self.phases.get(phase, [])]
+        parts = [message.table for message in messages]
+        if messages:
+            final_dests = np.concatenate([t.final_dest for t in parts])
+            lengths = np.fromiter((t.origin.size for t in parts),
+                                  dtype=INDEX_DTYPE, count=len(parts))
+            expected = np.repeat(
+                np.fromiter((m.dest for m in messages), dtype=INDEX_DTYPE,
+                            count=len(messages)), lengths)
+            stray_mask = final_dests != expected
+            if stray_mask.any():
+                position = int(np.argmax(stray_mask))
+                message = messages[int(np.searchsorted(
+                    np.cumsum(lengths), position, side="right"))]
+                raise PlanError(
+                    f"terminal message {message.src}->{message.dest} carries a slot "
+                    f"bound for rank {int(final_dests[position])}"
+                )
+        parts.append(self.self_deliveries)
+        table = SlotTable.concat(parts)
+        return table.origin, table.item, table.final_dest
+
     def required_deliveries(self) -> Dict[Tuple[int, int, int], int]:
         """Multiset of ``(origin, item, final_dest)`` required by the pattern."""
-        required: Dict[Tuple[int, int, int], int] = {}
-        for src, dest, items in self.pattern.edges():
-            for item in items.tolist():
-                key = (src, int(item), dest)
-                required[key] = required.get(key, 0) + 1
-        return required
+        return self._columns_to_multiset(self._required_columns())
 
     def planned_deliveries(self) -> Dict[Tuple[int, int, int], int]:
         """Multiset of deliveries the plan performs (terminal phases only)."""
-        terminal = {
-            Variant.POINT_TO_POINT: (Phase.DIRECT,),
-            Variant.STANDARD: (Phase.DIRECT,),
-            Variant.PARTIAL: (Phase.LOCAL, Phase.FINAL_REDIST),
-            Variant.FULL: (Phase.LOCAL, Phase.FINAL_REDIST),
-        }[self.variant]
-        delivered: Dict[Tuple[int, int, int], int] = {}
-        for phase in terminal:
-            for message in self.phases.get(phase, []):
-                for slot in message.slots:
-                    if slot.final_dest != message.dest:
-                        raise PlanError(
-                            f"terminal message {message.src}->{message.dest} carries a slot "
-                            f"bound for rank {slot.final_dest}"
-                        )
-                    key = (slot.origin, slot.item, slot.final_dest)
-                    delivered[key] = delivered.get(key, 0) + 1
-        for slot in self.self_deliveries:
-            key = (slot.origin, slot.item, slot.final_dest)
-            delivered[key] = delivered.get(key, 0) + 1
-        return delivered
+        return self._columns_to_multiset(self._planned_columns())
+
+    @staticmethod
+    def _columns_to_multiset(columns) -> Dict[Tuple[int, int, int], int]:
+        origins, items, dests = columns
+        if origins.size == 0:
+            return {}
+        group_of, (unique_origins, unique_items, unique_dests) = \
+            _triple_groups(origins, items, dests)
+        counts = np.bincount(group_of)
+        return {key: int(count) for key, count in zip(
+            zip(unique_origins.tolist(), unique_items.tolist(),
+                unique_dests.tolist()), counts.tolist())}
+
+    def _check_message_structure(self) -> None:
+        """Vectorized endpoint-range and phase-locality checks."""
+        n = self.pattern.n_ranks
+        for phase, messages in self.phases.items():
+            if not messages:
+                continue
+            srcs, dests, _, _ = self._message_columns(messages)
+            out_of_range = (srcs < 0) | (srcs >= n) | (dests < 0) | (dests >= n)
+            if out_of_range.any():
+                index = int(np.argmax(out_of_range))
+                raise PlanError(
+                    f"message endpoints ({int(srcs[index])}, {int(dests[index])}) "
+                    "out of range"
+                )
+            same_region = self.mapping.same_region_many(srcs, dests)
+            if phase is Phase.GLOBAL and same_region.any():
+                index = int(np.argmax(same_region))
+                raise PlanError(
+                    f"inter-region phase message {int(srcs[index])}->"
+                    f"{int(dests[index])} stays inside a region"
+                )
+            if phase in (Phase.LOCAL, Phase.SETUP_REDIST, Phase.FINAL_REDIST) \
+                    and not same_region.all():
+                index = int(np.argmax(~same_region))
+                raise PlanError(
+                    f"intra-region phase {phase.value} message "
+                    f"{int(srcs[index])}->{int(dests[index])} crosses regions"
+                )
 
     def validate(self) -> None:
         """Check the plan delivers exactly what the pattern requires.
@@ -256,45 +637,28 @@ class CollectivePlan:
         Raises :class:`PlanError` on missing, duplicated, or spurious
         deliveries, on messages whose endpoints are out of range, and on
         inter-region messages appearing in intra-region phases (and vice
-        versa).
+        versa).  The delivery check is a single ``np.unique`` multiset
+        comparison over the columnar slot tables.
         """
-        n = self.pattern.n_ranks
-        for message in self.messages():
-            if not (0 <= message.src < n and 0 <= message.dest < n):
-                raise PlanError(
-                    f"message endpoints ({message.src}, {message.dest}) out of range"
-                )
-            same_region = self.mapping.same_region(message.src, message.dest)
-            if message.phase is Phase.GLOBAL and same_region:
-                raise PlanError(
-                    f"inter-region phase message {message.src}->{message.dest} stays "
-                    "inside a region"
-                )
-            if message.phase in (Phase.LOCAL, Phase.SETUP_REDIST, Phase.FINAL_REDIST) \
-                    and not same_region:
-                raise PlanError(
-                    f"intra-region phase {message.phase.value} message "
-                    f"{message.src}->{message.dest} crosses regions"
-                )
-        required = self.required_deliveries()
+        self._check_message_structure()
+        required = self._required_columns()
+        delivered = self._planned_columns()
         # The pattern may list the same (origin, item, dest) more than once
         # (duplicate entries in a send list); a single delivery satisfies them.
-        required_set = set(required)
-        delivered = self.planned_deliveries()
-        delivered_set = set(delivered)
-        missing = required_set - delivered_set
-        if missing:
-            example = sorted(missing)[:3]
-            raise PlanError(f"plan misses {len(missing)} deliveries, e.g. {example}")
-        spurious = delivered_set - required_set
-        if spurious:
-            example = sorted(spurious)[:3]
-            raise PlanError(f"plan performs {len(spurious)} spurious deliveries, e.g. {example}")
-        duplicated = [key for key, count in delivered.items() if count > 1]
-        if duplicated:
+        unique_rows, missing, spurious, duplicated = _multiset_compare(
+            required, delivered)
+        if missing.size:
+            example = _example_rows(unique_rows, missing)
+            raise PlanError(f"plan misses {missing.size} deliveries, e.g. {example}")
+        if spurious.size:
+            example = _example_rows(unique_rows, spurious)
             raise PlanError(
-                f"plan delivers {len(duplicated)} items more than once, "
-                f"e.g. {sorted(duplicated)[:3]}"
+                f"plan performs {spurious.size} spurious deliveries, e.g. {example}")
+        if duplicated.size:
+            example = _example_rows(unique_rows, duplicated)
+            raise PlanError(
+                f"plan delivers {duplicated.size} items more than once, "
+                f"e.g. {example}"
             )
 
     def describe(self) -> str:

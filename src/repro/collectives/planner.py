@@ -7,37 +7,113 @@ duplicate-value removal of Section 3.3.  All planners are pure functions of the
 pattern and the rank mapping, which is what lets the experiment harness compute
 Figures 8-13 for thousands of simulated ranks without executing any
 communication.
+
+Compilation is columnar: the pattern's expanded edge table (three parallel
+int64 arrays) is deduplicated, routed, and grouped into messages with a
+handful of ``np.lexsort`` passes — per-row leader assignment via ``np.repeat``
+over the region-pair segments, one sort per phase, boundary detection for the
+message runs — so planning cost no longer scales with one Python loop
+iteration per routed item.  The slot-list implementation this replaced is
+preserved verbatim in :mod:`repro.collectives.reference` and pinned to this
+planner by the golden-equivalence tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 
 from repro.collectives.aggregation import (
     AggregationAssignment,
     BalanceStrategy,
-    collect_region_traffic,
     setup_aggregation,
 )
-from repro.collectives.dedup import unique_payload_keys
+from repro.collectives.dedup import unique_pairs_segmented
 from repro.collectives.plan import (
     CollectivePlan,
     Phase,
     PlannedMessage,
-    Slot,
+    SlotTable,
     Variant,
 )
 from repro.pattern.comm_pattern import CommPattern
 from repro.topology.mapping import RankMapping
+from repro.utils.arrays import INDEX_DTYPE, counts_to_displs, run_starts_mask
 from repro.utils.errors import PlanError
 
 
-def _edge_slots(src: int, dest: int, items: np.ndarray) -> List[Slot]:
-    """Slots of one pattern edge, with within-edge duplicates removed."""
-    unique_items = np.unique(items)
-    return [Slot(origin=src, item=int(item), final_dest=dest) for item in unique_items]
+def _group_bounds(*columns: np.ndarray) -> np.ndarray:
+    """Group boundaries of pre-sorted parallel key columns.
+
+    Returns offsets ``b`` such that group ``i`` spans ``[b[i], b[i + 1])``.
+    """
+    n = columns[0].size
+    if n == 0:
+        return np.zeros(1, dtype=INDEX_DTYPE)
+    starts = np.flatnonzero(run_starts_mask(*columns))
+    return np.append(starts, n).astype(INDEX_DTYPE, copy=False)
+
+
+def _freeze(*arrays: np.ndarray) -> None:
+    """Mark arrays read-only so every slice handed to a SlotTable inherits it."""
+    for array in arrays:
+        if array.flags.writeable:
+            array.flags.writeable = False
+
+
+def _self_delivery_table(origins: np.ndarray, items: np.ndarray,
+                         dests: np.ndarray) -> SlotTable:
+    """Wrap freshly-masked planner columns as a SlotTable without re-copying."""
+    _freeze(origins, items, dests)
+    return SlotTable._wrap(origins, items, dests)
+
+
+def _phase_messages(phase: Phase, srcs: np.ndarray, dests: np.ndarray,
+                    origins: np.ndarray, items: np.ndarray,
+                    final_dests: np.ndarray, *,
+                    deduplicate: bool = False) -> List[PlannedMessage]:
+    """One message per ``(src, dest)`` run of pre-sorted per-row endpoint columns.
+
+    ``srcs``/``dests`` give every row's message endpoints and must be the
+    primary sort keys of all six columns.  With ``deduplicate`` the payload
+    unique of every message of the phase runs as one segmented lexsort
+    instead of one small sort per message.
+    """
+    if origins.size == 0:
+        return []
+    _freeze(origins, items, final_dests)
+    bounds = _group_bounds(srcs, dests)
+    n_messages = bounds.size - 1
+    starts = bounds[:-1]
+    src_values = srcs[starts].tolist()
+    dest_values = dests[starts].tolist()
+    offsets = bounds.tolist()
+
+    payload_offsets = payload_origins = payload_items = None
+    if deduplicate:
+        segments = np.repeat(np.arange(n_messages, dtype=INDEX_DTYPE),
+                             np.diff(bounds))
+        payload_origins, payload_items, counts = unique_pairs_segmented(
+            segments, origins, items, n_messages)
+        _freeze(payload_origins, payload_items)
+        payload_offsets = counts_to_displs(counts).tolist()
+
+    messages: List[PlannedMessage] = []
+    for index in range(n_messages):
+        begin, end = offsets[index], offsets[index + 1]
+        table = SlotTable._wrap(origins[begin:end], items[begin:end],
+                                final_dests[begin:end])
+        if deduplicate:
+            p_begin, p_end = payload_offsets[index], payload_offsets[index + 1]
+            message = PlannedMessage.from_table(
+                phase, src_values[index], dest_values[index], table,
+                payload_origins[p_begin:p_end], payload_items[p_begin:p_end])
+        else:
+            message = PlannedMessage.from_table(
+                phase, src_values[index], dest_values[index], table)
+        messages.append(message)
+    return messages
 
 
 def plan_standard(pattern: CommPattern, mapping: RankMapping, *,
@@ -45,14 +121,14 @@ def plan_standard(pattern: CommPattern, mapping: RankMapping, *,
     """One direct message per (source, destination) pair — Algorithms 1-3."""
     if variant not in (Variant.STANDARD, Variant.POINT_TO_POINT):
         raise PlanError(f"plan_standard cannot build variant {variant}")
-    direct: List[PlannedMessage] = []
-    self_deliveries: List[Slot] = []
-    for src, dest, items in pattern.edges():
-        slots = _edge_slots(src, dest, items)
-        if src == dest:
-            self_deliveries.extend(slots)
-            continue
-        direct.append(PlannedMessage(phase=Phase.DIRECT, src=src, dest=dest, slots=slots))
+    origins, dests, items = pattern.unique_edge_table()
+    self_mask = origins == dests
+    self_deliveries = _self_delivery_table(origins[self_mask], items[self_mask],
+                                           dests[self_mask])
+    keep = ~self_mask
+    origins, dests, items = origins[keep], dests[keep], items[keep]
+    direct = _phase_messages(Phase.DIRECT, origins, dests,
+                             origins, items, dests)
     return CollectivePlan(variant=variant, pattern=pattern, mapping=mapping,
                           phases={Phase.DIRECT: direct},
                           self_deliveries=self_deliveries)
@@ -65,81 +141,124 @@ def _aggregated_plan(pattern: CommPattern, mapping: RankMapping, *,
     variant = Variant.FULL if deduplicate else Variant.PARTIAL
     if assignment is None:
         assignment = setup_aggregation(pattern, mapping, strategy=strategy)
-    traffic = collect_region_traffic(pattern, mapping)
 
-    local: List[PlannedMessage] = []
-    self_deliveries: List[Slot] = []
+    origins, dests, items = pattern.unique_edge_table()
+    regions = mapping.regions_array()
+    origin_regions = mapping.region_of_many(origins)
+    dest_region_ids = mapping.region_of_many(dests)
+    self_mask = origins == dests
+    same_region = origin_regions == dest_region_ids
 
     # Phase l: messages that never leave the region go directly to their
-    # destination, exactly as in the standard plan.
-    for src, dest, items in pattern.edges():
-        if src != dest and not mapping.same_region(src, dest):
-            continue
-        slots = _edge_slots(src, dest, items)
-        if src == dest:
-            self_deliveries.extend(slots)
-        else:
-            local.append(PlannedMessage(phase=Phase.LOCAL, src=src, dest=dest, slots=slots))
+    # destination, exactly as in the standard plan; self-edges are satisfied
+    # without any message.
+    self_parts: List[SlotTable] = [
+        _self_delivery_table(origins[self_mask], items[self_mask],
+                             dests[self_mask])]
+    local_mask = same_region & ~self_mask
+    local = _phase_messages(Phase.LOCAL, origins[local_mask],
+                            dests[local_mask], origins[local_mask],
+                            items[local_mask], dests[local_mask])
 
-    # Inter-region traffic: accumulate the three aggregated phases.  Messages
-    # sharing endpoints within a phase are merged (one buffer per pair of
-    # ranks per phase), which is what a real implementation posts.
-    setup_slots: Dict[Tuple[int, int], List[Slot]] = {}
-    global_slots: Dict[Tuple[int, int], List[Slot]] = {}
-    final_slots: Dict[Tuple[int, int], List[Slot]] = {}
-
-    for src_region, region_traffic in sorted(traffic.items()):
-        for dest_region in region_traffic.dest_regions():
-            send_leader, recv_leader = assignment.leaders_for(src_region, dest_region)
-            pair_slots: List[Slot] = []
-            for src, dest, items in region_traffic.per_pair[dest_region]:
-                pair_slots.extend(_edge_slots(src, dest, items))
-            if not pair_slots:
-                continue
-
-            # Phase s: every rank forwards its contribution to the send leader.
-            by_origin: Dict[int, List[Slot]] = {}
-            for slot in pair_slots:
-                by_origin.setdefault(slot.origin, []).append(slot)
-            for origin in sorted(by_origin):
-                if origin == send_leader:
-                    continue
-                setup_slots.setdefault((origin, send_leader), []).extend(by_origin[origin])
-
-            # Phase g: one aggregated message between the leaders.
-            if mapping.same_region(send_leader, recv_leader):
-                raise PlanError(
-                    f"leaders for region pair ({src_region}, {dest_region}) share a region"
-                )
-            global_slots.setdefault((send_leader, recv_leader), []).extend(pair_slots)
-
-            # Phase r: the receive leader forwards to final destinations.
-            by_dest: Dict[int, List[Slot]] = {}
-            for slot in pair_slots:
-                by_dest.setdefault(slot.final_dest, []).append(slot)
-            for dest in sorted(by_dest):
-                if dest == recv_leader:
-                    self_deliveries.extend(by_dest[dest])
-                    continue
-                final_slots.setdefault((recv_leader, dest), []).extend(by_dest[dest])
-
-    def build(phase: Phase, grouped: Dict[Tuple[int, int], List[Slot]]) -> List[PlannedMessage]:
-        messages = []
-        for (src, dest), slots in sorted(grouped.items()):
-            payload = unique_payload_keys(slots) if deduplicate else \
-                [(slot.origin, slot.item) for slot in slots]
-            messages.append(PlannedMessage(phase=phase, src=src, dest=dest,
-                                           slots=slots, payload_keys=payload))
-        return messages
-
-    phases = {
+    # Inter-region traffic: the three aggregated phases.  Rows are first
+    # segmented by (source region, destination region); the leaders of each
+    # region pair fan out to per-row arrays with one np.repeat, and each phase
+    # is then a single lexsort + boundary grouping:
+    #
+    # * phase s groups by (origin, send leader), skipping rows the leader
+    #   already holds,
+    # * phase g groups by the leader pair (one aggregated message per region
+    #   pair), and
+    # * phase r groups by (receive leader, final destination); rows whose
+    #   destination *is* the receive leader become self-deliveries.
+    #
+    # Messages sharing endpoints within a phase merge automatically (one
+    # buffer per pair of ranks per phase), which is what a real implementation
+    # posts.
+    phases: Dict[Phase, List[PlannedMessage]] = {
         Phase.LOCAL: local,
-        Phase.SETUP_REDIST: build(Phase.SETUP_REDIST, setup_slots),
-        Phase.GLOBAL: build(Phase.GLOBAL, global_slots),
-        Phase.FINAL_REDIST: build(Phase.FINAL_REDIST, final_slots),
+        Phase.SETUP_REDIST: [],
+        Phase.GLOBAL: [],
+        Phase.FINAL_REDIST: [],
     }
+
+    inter_mask = ~same_region
+    if inter_mask.any():
+        row_origins = origins[inter_mask]
+        row_dests = dests[inter_mask]
+        row_items = items[inter_mask]
+        row_src_regions = origin_regions[inter_mask]
+        row_dest_regions = dest_region_ids[inter_mask]
+
+        # Per-row leaders via dense (src_region, dest_region) lookup tables —
+        # no pre-sort by region pair needed.
+        n_regions = mapping.n_regions
+        send_table = np.full((n_regions, n_regions), -1, dtype=INDEX_DTYPE)
+        recv_table = np.full((n_regions, n_regions), -1, dtype=INDEX_DTYPE)
+        for (src_region, dest_region), rank in assignment.send_leader.items():
+            send_table[src_region, dest_region] = rank
+        for (src_region, dest_region), rank in assignment.recv_leader.items():
+            recv_table[src_region, dest_region] = rank
+        row_send = send_table[row_src_regions, row_dest_regions]
+        row_recv = recv_table[row_src_regions, row_dest_regions]
+        unassigned = (row_send < 0) | (row_recv < 0)
+        if unassigned.any():
+            index = int(np.argmax(unassigned))
+            key = (int(row_src_regions[index]), int(row_dest_regions[index]))
+            raise PlanError(f"no aggregation leaders assigned for region pair {key}")
+        shared = regions[row_send] == regions[row_recv]
+        if shared.any():
+            index = int(np.argmax(shared))
+            raise PlanError(
+                f"leaders for region pair ({int(row_src_regions[index])}, "
+                f"{int(row_dest_regions[index])}) share a region"
+            )
+
+        # Phase s: every rank forwards its contribution to the send leader.
+        # Sorting with the skip flag as the most significant key puts the
+        # leader's own rows last, so the forwarded block is one slice.
+        skip = row_origins == row_send
+        order = np.lexsort((row_items, row_dests, row_dest_regions,
+                            row_send, row_origins, skip))
+        selection = order[:order.size - int(np.count_nonzero(skip))]
+        setup_origins = row_origins[selection]
+        phases[Phase.SETUP_REDIST] = _phase_messages(
+            Phase.SETUP_REDIST, setup_origins, row_send[selection],
+            setup_origins, row_items[selection], row_dests[selection],
+            deduplicate=deduplicate)
+
+        # Phase g: one aggregated message between the leaders of each pair.
+        order = np.lexsort((row_items, row_dests, row_origins,
+                            row_recv, row_send))
+        phases[Phase.GLOBAL] = _phase_messages(
+            Phase.GLOBAL, row_send[order], row_recv[order],
+            row_origins[order], row_items[order], row_dests[order],
+            deduplicate=deduplicate)
+
+        # Phase r: the receive leader forwards to final destinations; rows it
+        # keeps for itself are satisfied without a message (same flag trick,
+        # self-kept rows sorted into the tail in self-delivery order).
+        keep_self = row_dests == row_recv
+        n_kept = int(np.count_nonzero(keep_self))
+        if n_kept:
+            order = np.lexsort((row_items, row_origins, row_dests,
+                                row_dest_regions, row_src_regions, keep_self))
+            selection = order[order.size - n_kept:]
+            self_parts.append(_self_delivery_table(row_origins[selection],
+                                                   row_items[selection],
+                                                   row_dests[selection]))
+        order = np.lexsort((row_items, row_origins, row_src_regions,
+                            row_dests, row_recv, keep_self))
+        selection = order[:order.size - n_kept]
+        final_dests = row_dests[selection]
+        phases[Phase.FINAL_REDIST] = _phase_messages(
+            Phase.FINAL_REDIST, row_recv[selection], final_dests,
+            row_origins[selection], row_items[selection], final_dests,
+            deduplicate=deduplicate)
+
     return CollectivePlan(variant=variant, pattern=pattern, mapping=mapping,
-                          phases=phases, self_deliveries=self_deliveries)
+                          phases=phases,
+                          self_deliveries=SlotTable.concat(self_parts))
 
 
 def plan_partial(pattern: CommPattern, mapping: RankMapping, *,

@@ -6,6 +6,11 @@ rank.  Item ids are what makes the fully-optimized collective possible: two
 destinations asking for the same item id from the same source constitute the
 duplicate data that three-step aggregation with deduplication sends across the
 region boundary only once.
+
+Patterns are immutable: item arrays are frozen (``writeable = False``) at
+construction, so every accessor — ``edges``, ``send_items``, ``recv_items``,
+the map views, and the cached columnar edge table — can hand out the stored
+arrays directly without defensive copies.
 """
 
 from __future__ import annotations
@@ -14,9 +19,31 @@ from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
 import numpy as np
 
-from repro.utils.arrays import as_index_array
+from repro.utils.arrays import (
+    INDEX_DTYPE,
+    as_index_array,
+    frozen_copy_on_write,
+    run_starts_mask,
+)
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_positive_int
+
+
+def _frozen_index_array(items) -> np.ndarray:
+    """``items`` as a read-only contiguous int64 array.
+
+    Anything still sharing writable memory with a caller's array (including a
+    read-only view of a writable buffer) is copied before freezing, so the
+    stored array can neither mutate under the pattern's caches nor freeze the
+    caller's own array.  Arrays we created — or that are provably immutable —
+    are frozen in place, which is what makes ``transpose`` and
+    ``restrict_to`` zero-copy.
+    """
+    return frozen_copy_on_write(as_index_array(items), items)
+
+
+_EMPTY_ITEMS = np.empty(0, dtype=INDEX_DTYPE)
+_EMPTY_ITEMS.flags.writeable = False
 
 
 class CommPattern:
@@ -65,12 +92,16 @@ class CommPattern:
                 dest = int(dest)
                 if dest < 0 or dest >= self.n_ranks:
                     raise ValidationError(f"destination rank {dest} out of range")
-                arr = as_index_array(items)
+                arr = _frozen_index_array(items)
                 if arr.size == 0:
                     continue
                 cleaned.setdefault(src, {})[dest] = arr
         self._sends = cleaned
         self._recvs: Dict[int, Dict[int, np.ndarray]] | None = None
+        self._edge_lists: Tuple[np.ndarray, np.ndarray, Tuple[np.ndarray, ...]] | None = None
+        self._edge_arrays: Tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._unique_edges: Tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._hash: int | None = None
 
     # -- send-side accessors ---------------------------------------------------
 
@@ -80,18 +111,18 @@ class CommPattern:
         return sorted(self._sends.get(src, {}).keys())
 
     def send_items(self, src: int, dest: int) -> np.ndarray:
-        """Item ids ``src`` sends to ``dest`` (empty array when none)."""
+        """Item ids ``src`` sends to ``dest`` (read-only view; empty when none)."""
         self._check_rank(src)
         self._check_rank(dest)
         items = self._sends.get(src, {}).get(dest)
         if items is None:
-            return np.empty(0, dtype=np.int64)
-        return items.copy()
+            return _EMPTY_ITEMS
+        return items
 
     def send_map(self, src: int) -> Dict[int, np.ndarray]:
-        """Copy of the full destination→items map of ``src``."""
+        """Destination→items map of ``src`` (read-only array views)."""
         self._check_rank(src)
-        return {dest: items.copy() for dest, items in self._sends.get(src, {}).items()}
+        return dict(self._sends.get(src, {}))
 
     # -- receive-side accessors --------------------------------------------------
 
@@ -101,27 +132,89 @@ class CommPattern:
         return sorted(self._transposed().get(dest, {}).keys())
 
     def recv_items(self, dest: int, src: int) -> np.ndarray:
-        """Item ids ``dest`` receives from ``src``."""
+        """Item ids ``dest`` receives from ``src`` (read-only view)."""
         self._check_rank(dest)
         self._check_rank(src)
         items = self._transposed().get(dest, {}).get(src)
         if items is None:
-            return np.empty(0, dtype=np.int64)
-        return items.copy()
+            return _EMPTY_ITEMS
+        return items
 
     def recv_map(self, dest: int) -> Dict[int, np.ndarray]:
-        """Copy of the full source→items map of ``dest``."""
+        """Source→items map of ``dest`` (read-only array views)."""
         self._check_rank(dest)
-        return {src: items.copy()
-                for src, items in self._transposed().get(dest, {}).items()}
+        return dict(self._transposed().get(dest, {}))
 
     # -- global views -------------------------------------------------------------
 
     def edges(self) -> Iterator[Tuple[int, int, np.ndarray]]:
-        """Iterate over ``(src, dest, items)`` triples in deterministic order."""
+        """Iterate over ``(src, dest, items)`` triples in deterministic order.
+
+        The yielded arrays are the stored read-only arrays — no copies.
+        """
         for src in sorted(self._sends):
             for dest in sorted(self._sends[src]):
-                yield src, dest, self._sends[src][dest].copy()
+                yield src, dest, self._sends[src][dest]
+
+    def edge_lists(self) -> Tuple[np.ndarray, np.ndarray, Tuple[np.ndarray, ...]]:
+        """Per-edge columnar view: ``(srcs, dests, item_arrays)`` in ``edges()`` order."""
+        if self._edge_lists is None:
+            srcs: list[int] = []
+            dests: list[int] = []
+            item_arrays: list[np.ndarray] = []
+            for src, dest, items in self.edges():
+                srcs.append(src)
+                dests.append(dest)
+                item_arrays.append(items)
+            src_array = np.asarray(srcs, dtype=INDEX_DTYPE)
+            dest_array = np.asarray(dests, dtype=INDEX_DTYPE)
+            src_array.flags.writeable = False
+            dest_array.flags.writeable = False
+            self._edge_lists = (src_array, dest_array, tuple(item_arrays))
+        return self._edge_lists
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fully expanded columnar edge table ``(origins, dests, items)``.
+
+        Row ``k`` says: rank ``origins[k]`` sends item ``items[k]`` to rank
+        ``dests[k]``.  Rows follow ``edges()`` order (duplicates included);
+        the result is cached and read-only — this is the "pattern" end of the
+        pattern → SlotTable → exchange-program pipeline.
+        """
+        if self._edge_arrays is None:
+            srcs, dests, item_arrays = self.edge_lists()
+            if not item_arrays:
+                origins = dests_expanded = items = _EMPTY_ITEMS
+            else:
+                counts = np.fromiter((a.size for a in item_arrays),
+                                     dtype=INDEX_DTYPE, count=len(item_arrays))
+                origins = np.repeat(srcs, counts)
+                dests_expanded = np.repeat(dests, counts)
+                items = np.concatenate(item_arrays)
+                for arr in (origins, dests_expanded, items):
+                    arr.flags.writeable = False
+            self._edge_arrays = (origins, dests_expanded, items)
+        return self._edge_arrays
+
+    def unique_edge_table(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Edge table with within-edge duplicates removed, sorted columnar.
+
+        Rows are ``(origin, dest, item)`` sorted lexicographically; each
+        ``(origin, dest)`` run is one standard-scheme message with its items
+        in ascending order.  This is the form every planner consumes, so it is
+        computed once per pattern (cached, read-only).
+        """
+        if self._unique_edges is None:
+            origins, dests, items = self.edge_arrays()
+            if origins.size:
+                order = np.lexsort((items, dests, origins))
+                origins, dests, items = origins[order], dests[order], items[order]
+                keep = run_starts_mask(origins, dests, items)
+                origins, dests, items = origins[keep], dests[keep], items[keep]
+                for arr in (origins, dests, items):
+                    arr.flags.writeable = False
+            self._unique_edges = (origins, dests, items)
+        return self._unique_edges
 
     def transpose(self) -> "CommPattern":
         """Pattern with the roles of senders and receivers exchanged."""
@@ -173,14 +266,29 @@ class CommPattern:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CommPattern):
             return NotImplemented
-        if self.n_ranks != other.n_ranks or self.item_bytes != other.item_bytes:
+        if self is other:
+            return True
+        if self.n_ranks != other.n_ranks or self.item_bytes != other.item_bytes \
+                or self.dtype != other.dtype or self.item_size != other.item_size:
             return False
-        mine = {(s, d): tuple(items.tolist()) for s, d, items in self.edges()}
-        theirs = {(s, d): tuple(items.tolist()) for s, d, items in other.edges()}
-        return mine == theirs
+        if self.n_messages != other.n_messages:
+            return False
+        for (src_a, dest_a, items_a), (src_b, dest_b, items_b) in zip(
+                self.edges(), other.edges()):
+            if src_a != src_b or dest_a != dest_b \
+                    or not np.array_equal(items_a, items_b):
+                return False
+        return True
 
-    def __hash__(self):  # patterns are mutable-free but large; identity hashing
-        return id(self)
+    def __hash__(self):
+        """Content hash, consistent with ``__eq__`` (cached; patterns are immutable)."""
+        if self._hash is None:
+            self._hash = hash((
+                self.n_ranks, self.item_bytes, self.dtype, self.item_size,
+                tuple((src, dest, items.tobytes())
+                      for src, dest, items in self.edges()),
+            ))
+        return self._hash
 
     def _transposed(self) -> Dict[int, Dict[int, np.ndarray]]:
         if self._recvs is None:

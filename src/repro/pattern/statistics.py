@@ -93,6 +93,34 @@ class PatternStatistics:
             self.global_messages[src] += 1
             self.global_bytes[src] += int(nbytes)
 
+    def add_messages(self, srcs: np.ndarray, is_local_mask: np.ndarray,
+                     nbytes: np.ndarray) -> None:
+        """Bulk-account one message per entry of the parallel input arrays.
+
+        ``srcs[k]`` sent ``nbytes[k]`` bytes; ``is_local_mask[k]`` says whether
+        the message stayed inside its region.  The accounting is two
+        ``np.bincount`` passes per locality class — no per-message Python loop.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        is_local_mask = np.asarray(is_local_mask, dtype=bool)
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        if not (srcs.shape == is_local_mask.shape == nbytes.shape):
+            raise ValidationError("add_messages arrays must have matching shapes")
+        if srcs.size == 0:
+            return
+        if int(srcs.min()) < 0 or int(srcs.max()) >= self.n_ranks:
+            raise ValidationError("rank out of range")
+        for mask, messages, byte_totals in (
+                (is_local_mask, self.local_messages, self.local_bytes),
+                (~is_local_mask, self.global_messages, self.global_bytes)):
+            if not mask.any():
+                continue
+            selected = srcs[mask]
+            messages += np.bincount(selected, minlength=self.n_ranks)
+            byte_totals += np.bincount(
+                selected, weights=nbytes[mask], minlength=self.n_ranks
+            ).astype(np.int64)
+
     def merged_with(self, other: "PatternStatistics") -> "PatternStatistics":
         """Element-wise sum of two statistics objects (e.g. across phases)."""
         if other.n_ranks != self.n_ranks:
@@ -118,6 +146,14 @@ class PatternStatistics:
         }
 
 
+def _edge_columns(pattern: CommPattern):
+    """Per-edge ``(srcs, dests, item_counts)`` arrays of a pattern."""
+    srcs, dests, item_arrays = pattern.edge_lists()
+    counts = np.fromiter((a.size for a in item_arrays), dtype=np.int64,
+                         count=len(item_arrays))
+    return srcs, dests, counts
+
+
 def pattern_statistics(pattern: CommPattern, mapping: RankMapping) -> PatternStatistics:
     """Statistics of the *standard* (unaggregated) communication of ``pattern``."""
     if mapping.n_ranks < pattern.n_ranks:
@@ -125,11 +161,13 @@ def pattern_statistics(pattern: CommPattern, mapping: RankMapping) -> PatternSta
             f"mapping covers {mapping.n_ranks} ranks but pattern has {pattern.n_ranks}"
         )
     stats = PatternStatistics(n_ranks=pattern.n_ranks)
-    for src, dest, items in pattern.edges():
-        if src == dest:
-            continue
-        is_local = mapping.same_region(src, dest)
-        stats.add_message(src, is_local, int(items.size) * pattern.item_bytes)
+    srcs, dests, counts = _edge_columns(pattern)
+    off_rank = srcs != dests
+    if not off_rank.any():
+        return stats
+    srcs, dests, counts = srcs[off_rank], dests[off_rank], counts[off_rank]
+    stats.add_messages(srcs, mapping.same_region_many(srcs, dests),
+                       counts * pattern.item_bytes)
     return stats
 
 
@@ -137,8 +175,9 @@ def locality_message_counts(pattern: CommPattern,
                             mapping: RankMapping) -> Dict[Locality, int]:
     """Total message counts split by full locality class (not just local/global)."""
     counts: Dict[Locality, int] = {loc: 0 for loc in Locality}
-    for src, dest, _ in pattern.edges():
-        counts[mapping.locality(src, dest)] += 1
+    srcs, dests, _ = _edge_columns(pattern)
+    for locality in mapping.locality_many(srcs, dests):
+        counts[locality] += 1
     return counts
 
 
@@ -146,8 +185,11 @@ def locality_byte_counts(pattern: CommPattern,
                          mapping: RankMapping) -> Dict[Locality, int]:
     """Total byte counts split by full locality class."""
     counts: Dict[Locality, int] = {loc: 0 for loc in Locality}
-    for src, dest, items in pattern.edges():
-        counts[mapping.locality(src, dest)] += int(items.size) * pattern.item_bytes
+    srcs, dests, item_counts = _edge_columns(pattern)
+    nbytes = item_counts * pattern.item_bytes
+    for locality, edge_bytes in zip(mapping.locality_many(srcs, dests),
+                                    nbytes.tolist()):
+        counts[locality] += edge_bytes
     return counts
 
 

@@ -57,8 +57,10 @@ class DistributedSpMV:
         self.row_range = self.blocks.row_range
 
         pkg = build_comm_pkg(matrix)
-        send_items = {dest: items.tolist() for dest, items in pkg.send_map(self.rank).items()}
-        recv_items = {src: items.tolist() for src, items in pkg.recv_map(self.rank).items()}
+        # The collective is built from the comm-pkg index arrays directly —
+        # no per-item list conversion at the boundary.
+        send_items = pkg.send_map(self.rank)
+        recv_items = pkg.recv_map(self.rank)
         sources = np.array(sorted(recv_items), dtype=np.int64)
         destinations = np.array(sorted(send_items), dtype=np.int64)
         graph_comm = dist_graph_create_adjacent(comm, sources, destinations,

@@ -212,10 +212,35 @@ class RankMapping:
 
     def region_of_many(self, ranks: Iterable[int]) -> np.ndarray:
         """Vectorised :meth:`region_of`."""
-        ranks = np.asarray(list(ranks), dtype=np.int64)
-        if ranks.size and (ranks.min() < 0 or ranks.max() >= self.n_ranks):
-            raise TopologyError("rank out of range")
-        return self._regions[ranks]
+        if not isinstance(ranks, np.ndarray):
+            ranks = list(ranks)
+        return self._regions[self._checked_rank_array(ranks)]
+
+    def same_region_many(self, ranks_a: np.ndarray, ranks_b: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`same_region` over parallel rank arrays."""
+        ranks_a = self._checked_rank_array(ranks_a)
+        ranks_b = self._checked_rank_array(ranks_b)
+        return self._regions[ranks_a] == self._regions[ranks_b]
+
+    def locality_many(self, ranks_a: np.ndarray,
+                      ranks_b: np.ndarray) -> list[Locality]:
+        """Vectorised :meth:`locality` over parallel rank arrays."""
+        ranks_a = self._checked_rank_array(ranks_a)
+        ranks_b = self._checked_rank_array(ranks_b)
+        codes = np.where(
+            ranks_a == ranks_b, 0,
+            np.where(self._nodes[ranks_a] != self._nodes[ranks_b], 3,
+                     np.where(self._sockets[ranks_a] != self._sockets[ranks_b],
+                              2, 1)))
+        order = (Locality.SELF, Locality.INTRA_SOCKET,
+                 Locality.INTER_SOCKET, Locality.INTER_NODE)
+        return [order[code] for code in codes.tolist()]
+
+    def _checked_rank_array(self, ranks) -> np.ndarray:
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size and (int(ranks.min()) < 0 or int(ranks.max()) >= self.n_ranks):
+            raise TopologyError(f"rank out of range [0, {self.n_ranks})")
+        return ranks
 
     # -- misc ---------------------------------------------------------------
 

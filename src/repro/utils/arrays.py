@@ -92,6 +92,57 @@ def partition_evenly(total: int, parts: int) -> np.ndarray:
     return offsets
 
 
+def buffer_writable(array: np.ndarray) -> bool:
+    """True when the array's memory can be written through any alias.
+
+    Walks the ``base`` chain, so a read-only view of a writable buffer still
+    counts as writable — the check immutable containers use to decide whether
+    a caller's array must be copied before freezing.
+    """
+    while True:
+        if array.flags.writeable:
+            return True
+        base = array.base
+        if not isinstance(base, np.ndarray):
+            return False
+        array = base
+
+
+def frozen_copy_on_write(arr: np.ndarray, source) -> np.ndarray:
+    """Freeze ``arr``, copying first when it may alias caller-writable memory.
+
+    ``source`` is the caller-supplied object ``arr`` was coerced from.  The
+    one shared implementation of the copy-if-shared-writable rule used by
+    every immutable int64 container (CommPattern item arrays, SlotTable
+    columns).
+    """
+    if isinstance(source, np.ndarray) and np.may_share_memory(arr, source) \
+            and buffer_writable(source):
+        arr = arr.copy()
+    if arr.flags.writeable:
+        arr.flags.writeable = False
+    return arr
+
+
+def run_starts_mask(*columns: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first row of every run of equal keys.
+
+    ``columns`` are parallel pre-sorted key columns; row ``k`` starts a new
+    run when any key differs from row ``k - 1`` (row 0 always does).  This is
+    the boundary step of every lexsort-group-reduce pass in the planner,
+    validator, deduplicator, and exchange compiler.
+    """
+    first = columns[0]
+    mask = np.empty(first.size, dtype=bool)
+    if first.size == 0:
+        return mask
+    mask[0] = True
+    np.not_equal(first[1:], first[:-1], out=mask[1:])
+    for column in columns[1:]:
+        np.logical_or(mask[1:], column[1:] != column[:-1], out=mask[1:])
+    return mask
+
+
 def stable_unique(values: Sequence[int]) -> np.ndarray:
     """Return unique values preserving first-occurrence order.
 

@@ -145,6 +145,15 @@ class TestAggregatedPlans:
         plan.validate()
 
 
+class TestUndersizedMapping:
+    def test_aggregated_plan_raises_topology_error(self):
+        from repro.utils.errors import TopologyError
+        pattern = pattern_from_edges(16, [(0, 12, [1])])
+        small_mapping = paper_mapping(8, ranks_per_node=4)
+        with pytest.raises(TopologyError, match="out of range"):
+            plan_partial(pattern, small_mapping)
+
+
 class TestDispatchers:
     def test_make_plan_accepts_strings(self, example_pattern, mapping):
         plan = make_plan(example_pattern, mapping, "full")

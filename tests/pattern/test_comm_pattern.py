@@ -76,6 +76,78 @@ class TestCommPatternBasics:
         pattern = pattern_from_edges(3, [(0, 1, [1]), (0, 1, [2])])
         assert pattern.send_items(0, 1).tolist() == [1, 2]
 
+    def test_equal_patterns_hash_equal(self):
+        a = pattern_from_edges(3, [(0, 1, [1, 2]), (1, 2, [3])])
+        b = pattern_from_edges(3, [(0, 1, [1, 2]), (1, 2, [3])])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1                      # usable as dict/set keys
+        assert hash(a) != hash(pattern_from_edges(3, [(0, 1, [1, 2])]))
+
+    def test_hash_respects_item_bytes(self):
+        a = pattern_from_edges(3, [(0, 1, [1])], item_bytes=8)
+        b = pattern_from_edges(3, [(0, 1, [1])], item_bytes=4)
+        assert a != b
+        assert hash(a) != hash(b)
+
+    def test_eq_and_hash_respect_dtype_and_item_size(self):
+        # Same wire size (8 bytes/item) but incompatible exchange element types
+        # must not collide as dict/set keys.
+        a = pattern_from_edges(3, [(0, 1, [1, 2])], dtype=np.float64, item_size=1)
+        b = pattern_from_edges(3, [(0, 1, [1, 2])], dtype=np.float32, item_size=2)
+        assert a != b
+        assert hash(a) != hash(b)
+
+    def test_accessors_return_read_only_views_without_copying(self):
+        pattern = pattern_from_edges(4, [(0, 1, [1, 2]), (2, 1, [3])])
+        items = pattern.send_items(0, 1)
+        assert not items.flags.writeable
+        assert pattern.send_items(0, 1) is items     # no per-call copy
+        for _, _, edge_items in pattern.edges():
+            assert not edge_items.flags.writeable
+        assert not pattern.recv_items(1, 0).flags.writeable
+        assert not pattern.send_map(0)[1].flags.writeable
+        with pytest.raises(ValueError):
+            items[0] = 99
+
+    def test_caller_array_not_frozen_by_construction(self):
+        mine = np.array([4, 5, 6], dtype=np.int64)
+        pattern = CommPattern(2, {0: {1: mine}})
+        mine[0] = 40                                  # caller's array untouched
+        assert pattern.send_items(0, 1).tolist() == [4, 5, 6]
+
+    def test_readonly_view_of_writable_buffer_copied(self):
+        base = np.array([4, 5, 6], dtype=np.int64)
+        view = base.view()
+        view.flags.writeable = False
+        pattern = CommPattern(2, {0: {1: view}})
+        hash_before = hash(pattern)
+        base[0] = 99                                  # mutation through the base
+        assert pattern.send_items(0, 1).tolist() == [4, 5, 6]
+        assert hash(pattern) == hash_before
+
+    def test_edge_lists_columns_are_frozen(self):
+        pattern = pattern_from_edges(4, [(0, 1, [1, 2]), (2, 3, [3])])
+        srcs, dests, item_arrays = pattern.edge_lists()
+        assert not srcs.flags.writeable and not dests.flags.writeable
+        assert isinstance(item_arrays, tuple)   # cache cannot be mutated
+
+    def test_edge_arrays_expand_pattern(self):
+        pattern = pattern_from_edges(4, [(0, 1, [1, 2]), (2, 3, [3])])
+        origins, dests, items = pattern.edge_arrays()
+        assert origins.tolist() == [0, 0, 2]
+        assert dests.tolist() == [1, 1, 3]
+        assert items.tolist() == [1, 2, 3]
+        assert pattern.edge_arrays() is not None     # cached path
+        assert not items.flags.writeable
+
+    def test_unique_edge_table_dedups_within_edge(self):
+        pattern = pattern_from_edges(4, [(1, 0, [5, 5, 4]), (0, 1, [9])])
+        origins, dests, items = pattern.unique_edge_table()
+        assert origins.tolist() == [0, 1, 1]
+        assert dests.tolist() == [1, 0, 0]
+        assert items.tolist() == [9, 4, 5]
+
 
 class TestValidation:
     def test_validate_accepts_good_pattern(self, small_pattern):
