@@ -154,6 +154,54 @@ def test_micro_plan_pipeline_scales_to_1024_ranks():
         f"1024-rank plan pipeline took {elapsed:.1f}s — slot-loop regression?"
 
 
+def test_micro_pattern_construction_speedup_over_dict_build():
+    """Perf gate: CSR-native pattern construction must beat the dict build >= 5x.
+
+    A 1024-rank irregular pattern's edge triples are generated once; the same
+    triples are then assembled into a pattern with its columnar edge table
+    (``edge_arrays()`` — the "pattern" end of the compilation pipeline)
+    through the production CSR path
+    (``pattern_from_edges`` -> ``CommPattern.from_edge_lists``) and through
+    the seed's edge-by-edge dict build kept in ``repro.pattern.reference``.
+    The vectorized concatenate+lexsort build must come out >= 5x faster; a
+    regression back to per-edge ``setdefault`` loops fails CI outright.
+    (``unique_edge_table`` is deliberately outside the timed region: its
+    planner-side lexsort is identical work in both paths and is gated by the
+    plan-compilation benchmarks.)
+    """
+    from repro.pattern.reference import reference_pattern_from_edges
+
+    rounds = 3
+    n_ranks = 1024
+    base = random_pattern(n_ranks, avg_neighbors=16, avg_items_per_message=48,
+                          duplicate_fraction=0.4, seed=11)
+    triples = [(src, dest, items) for src, dest, items in base.edges()]
+
+    def best_of(build):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            pattern = build(n_ranks, triples)
+            pattern.edge_arrays()
+            best = min(best, time.perf_counter() - start)
+            del pattern
+        return best
+
+    # Warm both paths (imports, allocator).
+    pattern_from_edges(n_ranks, triples).edge_arrays()
+    reference_pattern_from_edges(n_ranks, triples).edge_arrays()
+
+    csr = best_of(pattern_from_edges)
+    dict_build = best_of(reference_pattern_from_edges)
+    speedup = dict_build / csr
+    print(f"\n1024-rank pattern construction ({len(triples)} edges, "
+          f"{base.total_items} items): CSR {csr * 1e3:.1f} ms, "
+          f"dict build {dict_build * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    assert csr < dict_build, \
+        "CSR construction must never be slower than the dict build"
+    assert speedup >= 5.0, f"expected >= 5x speedup, measured {speedup:.1f}x"
+
+
 def test_micro_array_path_speedup_over_dict_path():
     """Smoke gate: the array-native path must beat the dict path on 10k items.
 

@@ -83,11 +83,10 @@ def hierarchy_comm_profiles(hierarchy: AMGHierarchy, mapping: RankMapping, *,
     """
     if mapping.n_ranks < hierarchy.levels[0].matrix.n_ranks:
         raise ValidationError("mapping has fewer ranks than the hierarchy's partition")
-    dtype = np.float64 if dtype is None else dtype
+    patterns = level_patterns(hierarchy, item_bytes=item_bytes,
+                              dtype=dtype, item_size=item_size)
     profiles: List[LevelCommProfile] = []
-    for level in hierarchy.levels:
-        pattern = pattern_from_parcsr(level.matrix, item_bytes=item_bytes,
-                                      dtype=dtype, item_size=item_size)
+    for level, pattern in zip(hierarchy.levels, patterns):
         plans = all_plans(pattern, mapping, strategy=strategy)
         if validate:
             for plan in plans.values():

@@ -34,8 +34,32 @@ from repro.collectives.planner import make_plan
 from repro.pattern.comm_pattern import CommPattern
 from repro.simmpi.topo_comm import DistGraphComm
 from repro.topology.mapping import RankMapping
-from repro.utils.arrays import INDEX_DTYPE, as_index_array, counts_to_displs
+from repro.utils.arrays import (
+    INDEX_DTYPE,
+    as_index_array,
+    counts_to_displs,
+    freeze_columns,
+)
 from repro.utils.errors import CommunicationError, ValidationError
+
+
+def _pack_send_map(send_items: Mapping[int, Sequence[int]]) -> np.ndarray:
+    """Flatten one rank's ``{dest: items}`` map into an int64 wire packet.
+
+    Layout: ``[n_edges, dests..., counts..., items...]`` with destinations in
+    ascending order and empty item lists dropped — the per-rank slice of the
+    global CSR build.
+    """
+    edges = sorted((int(dest), as_index_array(items))
+                   for dest, items in send_items.items())
+    edges = [(dest, items) for dest, items in edges if items.size]
+    n_edges = len(edges)
+    header = np.empty(1 + 2 * n_edges, dtype=INDEX_DTYPE)
+    header[0] = n_edges
+    header[1:1 + n_edges] = [dest for dest, _ in edges]
+    header[1 + n_edges:] = [items.size for _, items in edges]
+    return np.concatenate([header] + [items for _, items in edges]) \
+        if n_edges else header
 
 
 def _gather_pattern(graph_comm: DistGraphComm,
@@ -44,15 +68,32 @@ def _gather_pattern(graph_comm: DistGraphComm,
                     item_bytes: int | None) -> CommPattern:
     """Collectively assemble the global pattern from per-rank send maps.
 
-    Item lists travel as int64 arrays — no per-item Python conversion on
-    either side of the gather.
+    Every rank contributes one packed int64 array (edge count, destinations,
+    item counts, item ids); a single count/displacement array allgather
+    replaces the object allgather of per-rank dicts, and the received packets
+    are spliced straight into the pattern's CSR columns.
     """
-    local = {int(dest): as_index_array(items)
-             for dest, items in send_items.items()}
-    gathered = graph_comm.comm.allgather_obj(local)
-    sends = {rank: entry for rank, entry in enumerate(gathered) if entry}
-    return CommPattern(graph_comm.size, sends, item_bytes=item_bytes,
-                       dtype=dtype, item_size=item_size)
+    flat, sizes = graph_comm.comm.allgatherv_array(_pack_send_map(send_items))
+    n_ranks = graph_comm.size
+    packet_offsets = counts_to_displs(sizes)
+    edges_per_src = np.empty(n_ranks, dtype=INDEX_DTYPE)
+    dest_chunks: list[np.ndarray] = []
+    count_chunks: list[np.ndarray] = []
+    item_chunks: list[np.ndarray] = []
+    for rank in range(n_ranks):
+        start = int(packet_offsets[rank])
+        n_edges = int(flat[start])
+        edges_per_src[rank] = n_edges
+        dest_chunks.append(flat[start + 1:start + 1 + n_edges])
+        count_chunks.append(flat[start + 1 + n_edges:start + 1 + 2 * n_edges])
+        item_chunks.append(flat[start + 1 + 2 * n_edges:int(packet_offsets[rank + 1])])
+    columns = (counts_to_displs(edges_per_src),
+               np.concatenate(dest_chunks),
+               counts_to_displs(np.concatenate(count_chunks)),
+               np.concatenate(item_chunks))
+    freeze_columns(*columns)
+    return CommPattern.from_csr(n_ranks, *columns, item_bytes=item_bytes,
+                                dtype=dtype, item_size=item_size)
 
 
 def neighbor_alltoallv_init(graph_comm: DistGraphComm,

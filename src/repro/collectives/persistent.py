@@ -265,25 +265,61 @@ class PersistentNeighborCollective:
     # -- deprecated dict boundary ---------------------------------------------------
 
     def _array_from_mapping(self, values: Mapping[int, float]) -> np.ndarray:
-        """Convert an item-keyed mapping into the dense input array (deprecated path)."""
-        array = np.empty((self.compiled.n_owned, self.spec.item_size),
-                         dtype=self.spec.dtype)
-        for position, item in enumerate(self.compiled.owned_items.tolist()):
-            try:
-                array[position] = values[item]
-            except KeyError:
-                raise PlanError(
-                    f"rank {self.rank} holds no value for item {item} needed by "
-                    "the exchange"
-                ) from None
-        return array
+        """Convert an item-keyed mapping into the dense input array (deprecated path).
+
+        One ``np.fromiter`` over the keys plus one ``searchsorted`` lookup —
+        the boundary cost is O(n log n) array work, not a per-item Python loop.
+        """
+        wanted = self.compiled.owned_items
+        ids = np.fromiter(values.keys(), dtype=np.int64, count=len(values))
+        table = np.asarray(list(values.values()))
+        self._check_input_dtype(table.dtype)
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        positions = np.searchsorted(sorted_ids, wanted)
+        found = positions < sorted_ids.size
+        found[found] = sorted_ids[positions[found]] == wanted[found]
+        if not found.all():
+            missing = int(wanted[int(np.argmax(~found))])
+            raise PlanError(
+                f"rank {self.rank} holds no value for item {missing} needed by "
+                "the exchange"
+            )
+        array = table[order[positions]].astype(self.spec.dtype, copy=False)
+        if array.ndim == 1 and self.spec.item_size > 1:
+            # Scalar values broadcast across the item row, as the per-item
+            # assignment loop did.
+            array = np.broadcast_to(array[:, None],
+                                    (array.shape[0], self.spec.item_size))
+        return np.ascontiguousarray(array).reshape(self.compiled.n_owned,
+                                                   self.spec.item_size)
 
     def _mapping_from_array(self, result: np.ndarray) -> Dict[int, float]:
-        """Convert the dense output back into an item-keyed dict (deprecated path)."""
+        """Convert the dense output back into an item-keyed dict (deprecated path).
+
+        Built with one ``dict(zip(...))`` over ``ndarray.tolist()`` columns —
+        C-level iteration, no per-item numpy scalar boxing.
+        """
         items = self.compiled.result_items.tolist()
         if self.spec.item_size == 1:
-            return {item: value.item() for item, value in zip(items, result)}
-        return {item: np.array(row) for item, row in zip(items, result)}
+            return dict(zip(items, result.tolist()))
+        return dict(zip(items, np.ascontiguousarray(result)))
+
+    def _check_input_dtype(self, dtype: np.dtype) -> None:
+        """Reject value-corrupting input casts (same rule for array and dict input).
+
+        Within-kind narrowing (float64 -> float32) is C-style assignment and
+        allowed; cross-kind casts must be value-preserving — int64 into a
+        float collective or complex into a real one would corrupt data
+        silently.
+        """
+        if dtype != self.spec.dtype and dtype.kind != self.spec.dtype.kind \
+                and not np.can_cast(dtype, self.spec.dtype, casting="safe"):
+            raise ValidationError(
+                f"values of dtype {dtype} cannot be safely cast to the "
+                f"collective's {self.spec.dtype}; cast explicitly if truncation "
+                "is intended"
+            )
 
     def _load_owned(self, values: np.ndarray) -> None:
         """Copy the caller's dense input into the owned rows of the work array."""
@@ -291,18 +327,7 @@ class PersistentNeighborCollective:
         expected = (n_owned,) if self.spec.item_size == 1 else \
             (n_owned, self.spec.item_size)
         array = np.asarray(values)
-        if array.dtype != self.spec.dtype \
-                and array.dtype.kind != self.spec.dtype.kind \
-                and not np.can_cast(array.dtype, self.spec.dtype, casting="safe"):
-            # Within-kind narrowing (float64 -> float32) is C-style assignment
-            # and allowed; cross-kind casts must be value-preserving — int64
-            # into a float collective or complex into a real one would corrupt
-            # data silently.
-            raise ValidationError(
-                f"values of dtype {array.dtype} cannot be safely cast to the "
-                f"collective's {self.spec.dtype}; cast explicitly if truncation "
-                "is intended"
-            )
+        self._check_input_dtype(array.dtype)
         array = array.astype(self.spec.dtype, copy=False)
         if array.shape != expected and array.shape != (n_owned, self.spec.item_size):
             raise ValidationError(

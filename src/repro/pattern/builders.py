@@ -4,17 +4,34 @@ Patterns usually come from a distributed sparse matrix (see
 :func:`repro.sparse.comm_pkg.pattern_from_parcsr`), but the builders here cover
 the other cases the tests and examples need: explicit edge lists, random
 irregular patterns with controllable fan-out, and structured halo exchanges.
+
+Every builder is CSR-native: it accumulates per-edge endpoint/item arrays and
+hands them to :meth:`CommPattern.from_edge_arrays` in one vectorized
+concatenate + stable-lexsort pass — no per-edge dict insertion, no per-item
+Python conversion.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
 from repro.pattern.comm_pattern import CommPattern
+from repro.utils.arrays import INDEX_DTYPE, as_index_array
 from repro.utils.errors import ValidationError
 from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+def _pattern_from_triples(n_ranks: int, srcs: Sequence[int], dests: Sequence[int],
+                          item_arrays: Sequence[np.ndarray], *,
+                          item_bytes: int | None, dtype, item_size: int
+                          ) -> CommPattern:
+    """Assemble a pattern from parallel per-edge lists in one columnar pass."""
+    return CommPattern.from_edge_lists(
+        n_ranks, np.asarray(srcs, dtype=INDEX_DTYPE),
+        np.asarray(dests, dtype=INDEX_DTYPE), item_arrays,
+        item_bytes=item_bytes, dtype=dtype, item_size=item_size)
 
 
 def pattern_from_edges(n_ranks: int,
@@ -23,14 +40,19 @@ def pattern_from_edges(n_ranks: int,
                        dtype=np.float64, item_size: int = 1) -> CommPattern:
     """Build a pattern from ``(src, dest, item_ids)`` triples.
 
-    Items for repeated ``(src, dest)`` pairs are concatenated in call order.
+    Items for repeated ``(src, dest)`` pairs are concatenated in call order
+    (the stable lexsort of the columnar build preserves it).
     """
-    sends: Dict[int, Dict[int, list]] = {}
+    srcs: list[int] = []
+    dests: list[int] = []
+    item_arrays: list[np.ndarray] = []
     for src, dest, items in edges:
-        bucket = sends.setdefault(int(src), {}).setdefault(int(dest), [])
-        bucket.extend(int(i) for i in items)
-    return CommPattern(n_ranks, sends, item_bytes=item_bytes,
-                       dtype=dtype, item_size=item_size)
+        srcs.append(int(src))
+        dests.append(int(dest))
+        item_arrays.append(as_index_array(items))
+    return _pattern_from_triples(n_ranks, srcs, dests, item_arrays,
+                                 item_bytes=item_bytes, dtype=dtype,
+                                 item_size=item_size)
 
 
 def random_pattern(n_ranks: int, *, avg_neighbors: float = 6.0,
@@ -55,7 +77,9 @@ def random_pattern(n_ranks: int, *, avg_neighbors: float = 6.0,
     if not 0.0 <= duplicate_fraction <= 1.0:
         raise ValidationError("duplicate_fraction must lie in [0, 1]")
     rng = np.random.default_rng(seed)
-    sends: Dict[int, Dict[int, np.ndarray]] = {}
+    srcs: list[int] = []
+    edge_dests: list[int] = []
+    item_arrays: list[np.ndarray] = []
     for src in range(n_ranks):
         owned = np.arange(items_per_rank, dtype=np.int64) + src * items_per_rank
         max_neighbors = max(n_ranks - 1, 1)
@@ -77,9 +101,12 @@ def random_pattern(n_ranks: int, *, avg_neighbors: float = 6.0,
                                                   unique_part[:n_items - shared_part.size]]))
             else:
                 items = np.unique(unique_part)
-            sends.setdefault(src, {})[int(dest)] = items
-    return CommPattern(n_ranks, sends, item_bytes=item_bytes,
-                       dtype=dtype, item_size=item_size)
+            srcs.append(src)
+            edge_dests.append(int(dest))
+            item_arrays.append(items)
+    return _pattern_from_triples(n_ranks, srcs, edge_dests, item_arrays,
+                                 item_bytes=item_bytes, dtype=dtype,
+                                 item_size=item_size)
 
 
 def halo_exchange_pattern(grid_shape: Tuple[int, int], *, width: int = 1,
@@ -110,7 +137,10 @@ def halo_exchange_pattern(grid_shape: Tuple[int, int], *, width: int = 1,
             return r * cols + c
         return None
 
-    sends: Dict[int, Dict[int, np.ndarray]] = {}
+    srcs: list[int] = []
+    edge_dests: list[int] = []
+    item_arrays: list[np.ndarray] = []
+    edge_slot: dict[Tuple[int, int], int] = {}
     for r in range(rows):
         for c in range(cols):
             src = r * cols + c
@@ -125,9 +155,19 @@ def halo_exchange_pattern(grid_shape: Tuple[int, int], *, width: int = 1,
                 if dest is None or dest == src:
                     continue
                 items = base + face_index * side + np.arange(side, dtype=np.int64)
-                sends.setdefault(src, {})[dest] = items
-    return CommPattern(n_ranks, sends, item_bytes=item_bytes,
-                       dtype=dtype, item_size=item_size)
+                # On tiny periodic grids two faces can hit the same neighbor;
+                # the last face wins, as in dict-keyed construction.
+                slot = edge_slot.get((src, dest))
+                if slot is not None:
+                    item_arrays[slot] = items
+                    continue
+                edge_slot[(src, dest)] = len(srcs)
+                srcs.append(src)
+                edge_dests.append(dest)
+                item_arrays.append(items)
+    return _pattern_from_triples(n_ranks, srcs, edge_dests, item_arrays,
+                                 item_bytes=item_bytes, dtype=dtype,
+                                 item_size=item_size)
 
 
 def neighbor_lists(pattern: CommPattern, rank: int) -> Tuple[np.ndarray, np.ndarray]:

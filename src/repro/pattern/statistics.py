@@ -147,11 +147,13 @@ class PatternStatistics:
 
 
 def _edge_columns(pattern: CommPattern):
-    """Per-edge ``(srcs, dests, item_counts)`` arrays of a pattern."""
-    srcs, dests, item_arrays = pattern.edge_lists()
-    counts = np.fromiter((a.size for a in item_arrays), dtype=np.int64,
-                         count=len(item_arrays))
-    return srcs, dests, counts
+    """Per-edge ``(srcs, dests, item_counts)`` arrays of a pattern.
+
+    Straight off the CSR storage: the destination column is the stored array
+    and the counts are one ``diff`` over the item offsets.
+    """
+    _, dests, _, _ = pattern.csr()
+    return pattern.edge_sources(), dests, pattern.edge_item_counts()
 
 
 def pattern_statistics(pattern: CommPattern, mapping: RankMapping) -> PatternStatistics:

@@ -21,7 +21,7 @@ from typing import Any, Callable, List, Sequence
 
 import numpy as np
 
-from repro.simmpi.mailbox import Envelope, MessageFabric
+from repro.simmpi.mailbox import INTERNAL_TAG_BASE, Envelope, MessageFabric
 from repro.simmpi.request import (
     PersistentRecvRequest,
     PersistentSendRequest,
@@ -29,7 +29,7 @@ from repro.simmpi.request import (
 from repro.utils.errors import CommunicationError
 
 # Tags at or above this value are reserved for internal collective plumbing.
-_INTERNAL_TAG_BASE = 1 << 20
+_INTERNAL_TAG_BASE = INTERNAL_TAG_BASE
 
 
 class SimComm:
@@ -154,6 +154,72 @@ class SimComm:
             return list(gathered)
         self.send_obj(value, root, tag=_INTERNAL_TAG_BASE + 3)
         return list(self.recv_obj(root, tag=_INTERNAL_TAG_BASE + 4))
+
+    def allgatherv_array(self, array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Gather variable-length 1-D numpy arrays from every rank onto every rank.
+
+        Returns ``(flat, counts)`` where ``flat`` concatenates every rank's
+        contribution in rank order and ``counts[r]`` is rank ``r``'s length —
+        the packed count/displacement form neighborhood setup code consumes
+        (rank ``r``'s slice is ``flat[displs[r]:displs[r + 1]]`` with
+        ``displs = counts_to_displs(counts)``).  Payloads travel as typed
+        numpy buffers; only the lengths ride the object path, exactly like an
+        MPI ``MPI_Allgatherv`` preceded by its count exchange.  All ranks must
+        pass the same dtype.
+        """
+        array = np.ascontiguousarray(array)
+        if array.ndim != 1:
+            raise CommunicationError("allgatherv_array requires 1-D arrays")
+        root = 0
+        tag_count = _INTERNAL_TAG_BASE + 7
+        tag_data = _INTERNAL_TAG_BASE + 8
+        if self.rank == root:
+            counts = np.empty(self.size, dtype=np.int64)
+            counts[root] = array.size
+            chunks: List[np.ndarray] = [None] * self.size  # type: ignore[list-item]
+            chunks[root] = array
+            for source in range(self.size):
+                if source == root:
+                    continue
+                size = int(self.recv_obj(source, tag=tag_count))
+                chunk = np.empty(size, dtype=array.dtype)
+                if size:
+                    self._recv_internal(chunk, source, tag_data)
+                counts[source] = size
+                chunks[source] = chunk
+            flat = np.concatenate(chunks) if int(counts.sum()) else \
+                np.empty(0, dtype=array.dtype)
+            for dest in range(self.size):
+                if dest == root:
+                    continue
+                self._send_internal(counts, dest, tag_count)
+                if flat.size:
+                    self._send_internal(flat, dest, tag_data)
+            return flat, counts
+        self.send_obj(int(array.size), root, tag=tag_count)
+        if array.size:
+            self._send_internal(array, root, tag_data)
+        counts = np.empty(self.size, dtype=np.int64)
+        self._recv_internal(counts, root, tag_count)
+        flat = np.empty(int(counts.sum()), dtype=array.dtype)
+        if flat.size:
+            self._recv_internal(flat, root, tag_data)
+        return flat, counts
+
+    def _send_internal(self, buffer: np.ndarray, dest: int, tag: int) -> None:
+        """Blocking buffer send on a reserved internal tag (no user-tag check)."""
+        request = PersistentSendRequest(self.fabric, self.rank, dest, tag,
+                                        self.context, buffer,
+                                        on_start=self._traffic_callback)
+        request.start()
+        request.wait()
+
+    def _recv_internal(self, buffer: np.ndarray, source: int, tag: int) -> None:
+        """Blocking buffer receive matching :meth:`_send_internal`."""
+        request = PersistentRecvRequest(self.fabric, self.rank, source, tag,
+                                        self.context, buffer)
+        request.start()
+        request.wait()
 
     def bcast_obj(self, value: Any, root: int = 0) -> Any:
         """Broadcast a Python object from ``root`` to every rank."""

@@ -19,6 +19,11 @@ import numpy as np
 
 from repro.utils.errors import CommunicationError
 
+#: Tags at or above this value are reserved for internal collective plumbing
+#: (barriers, object gathers, packed setup-phase array exchanges).  Defined
+#: here so both the communicator and the profiler agree on the boundary.
+INTERNAL_TAG_BASE = 1 << 20
+
 
 @dataclass(frozen=True)
 class Envelope:
@@ -34,6 +39,15 @@ class Envelope:
     def is_array(self) -> bool:
         """True when the payload is a numpy buffer (data-path traffic)."""
         return isinstance(self.payload, np.ndarray)
+
+    @property
+    def is_control(self) -> bool:
+        """True for setup-phase control traffic (internal tag or object payload).
+
+        Packed neighbor-list and pattern gathers travel as numpy arrays on
+        internal tags; they are still control-plane, not data-path, traffic.
+        """
+        return self.tag >= INTERNAL_TAG_BASE or not self.is_array
 
     @property
     def nbytes(self) -> int:

@@ -52,6 +52,9 @@ class TrafficProfiler:
                  ignore_object_messages: bool = True):
         self.mapping = mapping
         self.ignore_self_messages = ignore_self_messages
+        #: When True (default), setup-phase control traffic — pickled objects
+        #: and packed arrays on internal collective tags — is not recorded;
+        #: only data-path buffer traffic counts.
         self.ignore_object_messages = ignore_object_messages
         self._lock = threading.Lock()
         self._records: List[TrafficRecord] = []
@@ -60,7 +63,7 @@ class TrafficProfiler:
 
     def record_envelope(self, envelope: Envelope) -> None:
         """Callback installed on :class:`SimComm`; records one sent envelope."""
-        is_array = envelope.is_array
+        is_array = not envelope.is_control
         if self.ignore_object_messages and not is_array:
             return
         if self.ignore_self_messages and envelope.source == envelope.dest:

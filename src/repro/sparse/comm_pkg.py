@@ -8,75 +8,151 @@ entries each rank sends to / receives from which neighbours before a SpMV.
 neighborhood-collective planners consume — item ids are global row indices, so
 the deduplicating collective can recognise when one vector entry is needed by
 several ranks on the same node.
+
+Both are columnar end to end: the off-process column maps of all ranks are
+concatenated once, their owners resolved with one vectorized partition lookup,
+and a single stable lexsort per side yields the packed CSR columns
+``(offsets, peers, item_offsets, items)`` for the receive and send views.  The
+send-side columns feed :meth:`CommPattern.from_csr` directly — no dict-of-dict
+intermediate is ever materialised on the construction path; the mapping
+accessors of :class:`CommPkg` survive as views built on demand.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.pattern.comm_pattern import CommPattern
 from repro.sparse.parcsr import ParCSRMatrix
+from repro.utils.arrays import INDEX_DTYPE, freeze_columns, group_rows_to_csr
 from repro.utils.errors import ValidationError
 
+#: One side of a comm package in packed CSR form: ``peers`` of rank ``r`` are
+#: ``peers[offsets[r]:offsets[r + 1]]`` and edge ``e`` carries
+#: ``items[item_offsets[e]:item_offsets[e + 1]]``.
+CsrSide = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
-@dataclass
+
+def _group_to_csr(n_ranks: int, primary: np.ndarray, secondary: np.ndarray,
+                  items: np.ndarray) -> CsrSide:
+    """Pack rows into per-primary-rank CSR columns, frozen for zero-copy reuse.
+
+    The grouping is the shared stable lexsort pass
+    (:func:`repro.utils.arrays.group_rows_to_csr`); freezing the columns here
+    lets :meth:`CommPattern.from_csr` store them without a defensive copy.
+    """
+    side = group_rows_to_csr(n_ranks, primary, secondary, items)
+    freeze_columns(*side)
+    return side
+
+
+def _csr_slice_map(side: CsrSide, rank: int, *, copy: bool) -> Dict[int, np.ndarray]:
+    """``{peer: items}`` view (or copies) of one rank's slice of a CSR side."""
+    offsets, peers, item_offsets, items = side
+    result: Dict[int, np.ndarray] = {}
+    for edge in range(int(offsets[rank]), int(offsets[rank + 1])):
+        chunk = items[item_offsets[edge]:item_offsets[edge + 1]]
+        result[int(peers[edge])] = chunk.copy() if copy else chunk
+    return result
+
+
 class CommPkg:
-    """Halo-exchange description of one distributed matrix.
+    """Halo-exchange description of one distributed matrix, stored columnar.
 
-    ``recv_items[rank][src]`` lists the global vector indices ``rank`` must
-    receive from ``src``; ``send_items[rank][dest]`` the indices it must send.
-    The two views are transposes of each other.
+    The canonical storage is two packed CSR sides: ``recv_csr`` groups the
+    needed off-process entries by ``(receiving rank, owning rank)``, and
+    ``send_csr`` is its transpose grouped by ``(owning rank, receiving rank)``.
+    ``recv_items``/``send_items`` reproduce the historical dict-of-dict views
+    on demand.
     """
 
-    n_ranks: int
-    recv_items: Dict[int, Dict[int, np.ndarray]] = field(default_factory=dict)
-    send_items: Dict[int, Dict[int, np.ndarray]] = field(default_factory=dict)
+    def __init__(self, n_ranks: int, recv_csr: CsrSide, send_csr: CsrSide):
+        self.n_ranks = int(n_ranks)
+        self.recv_csr = recv_csr
+        self.send_csr = send_csr
+        self._recv_dicts: Dict[int, Dict[int, np.ndarray]] | None = None
+        self._send_dicts: Dict[int, Dict[int, np.ndarray]] | None = None
+
+    # -- dict-of-dict compatibility views ---------------------------------------
+
+    @property
+    def recv_items(self) -> Dict[int, Dict[int, np.ndarray]]:
+        """``recv_items[rank][src]``: indices ``rank`` receives from ``src`` (views)."""
+        if self._recv_dicts is None:
+            self._recv_dicts = {
+                rank: entries for rank in range(self.n_ranks)
+                if (entries := _csr_slice_map(self.recv_csr, rank, copy=False))
+            }
+        return self._recv_dicts
+
+    @property
+    def send_items(self) -> Dict[int, Dict[int, np.ndarray]]:
+        """``send_items[rank][dest]``: indices ``rank`` sends to ``dest`` (views)."""
+        if self._send_dicts is None:
+            self._send_dicts = {
+                rank: entries for rank in range(self.n_ranks)
+                if (entries := _csr_slice_map(self.send_csr, rank, copy=False))
+            }
+        return self._send_dicts
 
     def recv_map(self, rank: int) -> Dict[int, np.ndarray]:
         """``{source: indices}`` for ``rank`` (copies)."""
-        return {src: items.copy() for src, items in self.recv_items.get(rank, {}).items()}
+        return _csr_slice_map(self.recv_csr, rank, copy=True)
 
     def send_map(self, rank: int) -> Dict[int, np.ndarray]:
         """``{destination: indices}`` for ``rank`` (copies)."""
-        return {dest: items.copy() for dest, items in self.send_items.get(rank, {}).items()}
+        return _csr_slice_map(self.send_csr, rank, copy=True)
 
     def neighbors(self, rank: int) -> tuple[List[int], List[int]]:
         """``(sources, destinations)`` of ``rank`` in ascending order."""
-        sources = sorted(self.recv_items.get(rank, {}).keys())
-        destinations = sorted(self.send_items.get(rank, {}).keys())
+        recv_offsets, recv_peers = self.recv_csr[0], self.recv_csr[1]
+        send_offsets, send_peers = self.send_csr[0], self.send_csr[1]
+        sources = recv_peers[recv_offsets[rank]:recv_offsets[rank + 1]].tolist()
+        destinations = send_peers[send_offsets[rank]:send_offsets[rank + 1]].tolist()
         return sources, destinations
 
     def total_recv_items(self, rank: int) -> int:
         """Number of off-process entries ``rank`` receives per SpMV."""
-        return sum(int(items.size) for items in self.recv_items.get(rank, {}).values())
+        offsets, _, item_offsets, _ = self.recv_csr
+        lo, hi = int(offsets[rank]), int(offsets[rank + 1])
+        return int(item_offsets[hi] - item_offsets[lo])
 
 
 def build_comm_pkg(matrix: ParCSRMatrix) -> CommPkg:
     """Construct the halo-exchange package of ``matrix``.
 
     For every rank the off-diagonal column map gives the global vector entries
-    it needs; grouping those entries by owning rank yields the receive side,
-    and transposing yields the send side.
+    it needs; one concatenated owner lookup plus one lexsort per side yields
+    the packed receive and send columns.
     """
     partition = matrix.partition
-    pkg = CommPkg(n_ranks=partition.n_ranks)
+    n_ranks = partition.n_ranks
+    needed_chunks: List[np.ndarray] = []
+    rank_ids: List[int] = []
+    counts: List[int] = []
     for rank in partition.iter_ranks():
         needed = matrix.offd_columns(rank)
         if needed.size == 0:
             continue
-        owners = partition.owners_of(needed)
-        if np.any(owners == rank):
-            raise ValidationError("off-diagonal columns must be owned by other ranks")
-        recv: Dict[int, np.ndarray] = {}
-        for owner in np.unique(owners):
-            items = needed[owners == owner]
-            recv[int(owner)] = items.astype(np.int64)
-            pkg.send_items.setdefault(int(owner), {})[rank] = items.astype(np.int64)
-        pkg.recv_items[rank] = recv
-    return pkg
+        needed_chunks.append(needed)
+        rank_ids.append(rank)
+        counts.append(needed.size)
+    if not needed_chunks:
+        empty = _group_to_csr(n_ranks, np.empty(0, dtype=INDEX_DTYPE),
+                              np.empty(0, dtype=INDEX_DTYPE),
+                              np.empty(0, dtype=INDEX_DTYPE))
+        return CommPkg(n_ranks, empty, empty)
+    needed_all = np.concatenate(needed_chunks).astype(INDEX_DTYPE, copy=False)
+    recv_ranks = np.repeat(np.asarray(rank_ids, dtype=INDEX_DTYPE),
+                           np.asarray(counts, dtype=INDEX_DTYPE))
+    owners = partition.owners_of(needed_all)
+    if np.any(owners == recv_ranks):
+        raise ValidationError("off-diagonal columns must be owned by other ranks")
+    recv_csr = _group_to_csr(n_ranks, recv_ranks, owners, needed_all)
+    send_csr = _group_to_csr(n_ranks, owners, recv_ranks, needed_all)
+    return CommPkg(n_ranks, recv_csr, send_csr)
 
 
 def pattern_from_parcsr(matrix: ParCSRMatrix, *, item_bytes: int | None = None,
@@ -85,10 +161,11 @@ def pattern_from_parcsr(matrix: ParCSRMatrix, *, item_bytes: int | None = None,
 
     ``dtype``/``item_size`` describe the exchanged vector entries (float64
     scalars for a plain SpMV; wider items for multi-component unknowns) and
-    determine the modeled wire size unless ``item_bytes`` overrides it.
+    determine the modeled wire size unless ``item_bytes`` overrides it.  The
+    send-side CSR columns of the comm package are handed to the pattern as-is.
     """
     pkg = build_comm_pkg(matrix)
-    sends = {rank: {dest: items for dest, items in dests.items()}
-             for rank, dests in pkg.send_items.items()}
-    return CommPattern(matrix.n_ranks, sends, item_bytes=item_bytes,
-                       dtype=dtype, item_size=item_size)
+    src_offsets, dests, item_offsets, items = pkg.send_csr
+    return CommPattern.from_csr(matrix.n_ranks, src_offsets, dests,
+                                item_offsets, items, item_bytes=item_bytes,
+                                dtype=dtype, item_size=item_size)

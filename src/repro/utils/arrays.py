@@ -143,6 +143,47 @@ def run_starts_mask(*columns: np.ndarray) -> np.ndarray:
     return mask
 
 
+def group_rows_to_csr(n_keys: int, primary: np.ndarray, secondary: np.ndarray,
+                      items: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pack ``(primary, secondary, item)`` rows into per-primary-key CSR columns.
+
+    Returns ``(offsets, secondaries, item_offsets, items)``: the edges of key
+    ``p`` occupy slots ``offsets[p]:offsets[p + 1]``, edge ``e`` pairs key
+    ``secondaries[e]`` with ``items[item_offsets[e]:item_offsets[e + 1]]``.
+    The sort is one *stable* lexsort by ``(primary, secondary)``, so items
+    keep their input order within each edge — the invariant that makes the
+    CSR build byte-identical to edge-by-edge dict accumulation.  This is the
+    one shared grouping pass behind ``CommPattern.from_edge_arrays`` and the
+    comm-package builder.
+    """
+    if items.size == 0:
+        return (np.zeros(n_keys + 1, dtype=INDEX_DTYPE),
+                np.empty(0, dtype=INDEX_DTYPE),
+                np.zeros(1, dtype=INDEX_DTYPE),
+                np.empty(0, dtype=INDEX_DTYPE))
+    order = np.lexsort((secondary, primary))
+    primary, secondary, items = primary[order], secondary[order], items[order]
+    starts = run_starts_mask(primary, secondary)
+    boundaries = np.flatnonzero(starts)
+    item_offsets = np.empty(boundaries.size + 1, dtype=INDEX_DTYPE)
+    item_offsets[:-1] = boundaries
+    item_offsets[-1] = items.size
+    offsets = counts_to_displs(np.bincount(primary[starts], minlength=n_keys))
+    return offsets, secondary[starts], item_offsets, np.ascontiguousarray(items)
+
+
+def freeze_columns(*columns: np.ndarray) -> None:
+    """Mark arrays read-only in place (producer-side freeze before storage).
+
+    Columns a producer freezes before handing them to an immutable container
+    (e.g. ``CommPattern.from_csr``) are stored without a defensive copy.
+    """
+    for column in columns:
+        if column.flags.writeable:
+            column.flags.writeable = False
+
+
 def stable_unique(values: Sequence[int]) -> np.ndarray:
     """Return unique values preserving first-occurrence order.
 

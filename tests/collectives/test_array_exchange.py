@@ -141,6 +141,24 @@ class TestArrayPathDeliversCorrectData:
 
         assert all(run_spmd(2, program, timeout=30))
 
+    def test_lossy_input_cast_raises_in_dict_mode_too(self, small_mapping):
+        """The deprecated dict boundary applies the same safe-cast rule as the
+        array path — complex values never silently lose their imaginary part."""
+        pattern = pattern_from_edges(2, [(0, 1, [1, 2]), (1, 0, [5])])
+
+        def program(comm):
+            plan = make_plan(pattern, small_mapping, Variant.STANDARD)
+            collective = PersistentNeighborCollective(comm, plan)
+            if comm.rank == 0:
+                with pytest.raises(ValidationError, match="safely cast"):
+                    collective.start({int(i): complex(i, 99.0)
+                                      for i in collective.owned_item_ids})
+            collective.exchange({int(i): float(i)
+                                 for i in collective.owned_item_ids})
+            return True
+
+        assert all(run_spmd(2, program, timeout=30))
+
     def test_wrong_input_shape_raises(self, small_mapping):
         pattern = pattern_from_edges(2, [(0, 1, [1, 2]), (1, 0, [5])])
 
@@ -189,6 +207,24 @@ class TestDictCompatibilityWrapper:
             return True
 
         assert all(run_spmd(n_ranks, program, timeout=120))
+
+    def test_dict_scalars_broadcast_across_item_components(self, small_mapping):
+        """A scalar per item in dict mode fills every component of the item row,
+        exactly as the seed's per-item assignment loop did."""
+        pattern = pattern_from_edges(2, [(0, 1, [1, 2]), (1, 0, [10])],
+                                     item_size=3)
+
+        def program(comm):
+            plan = make_plan(pattern, small_mapping, Variant.STANDARD)
+            collective = PersistentNeighborCollective(comm, plan, item_size=3)
+            values = {int(i): float(i) for i in collective.owned_item_ids}
+            result = collective.exchange(values)
+            for item, row in result.items():
+                np.testing.assert_array_equal(row, np.full(3, float(item)))
+            return sorted(result)
+
+        received = run_spmd(2, program, timeout=30)
+        assert received == [[10], [1, 2]]
 
     def test_missing_value_in_dict_raises(self, small_mapping):
         pattern = pattern_from_edges(2, [(0, 1, [1, 2])])

@@ -8,7 +8,7 @@ from repro.simmpi.topo_comm import dist_graph_create_adjacent
 from repro.simmpi.world import SimWorld, run_spmd
 from repro.topology.machine import Locality
 from repro.topology.presets import paper_mapping
-from repro.utils.errors import CommunicationError
+from repro.utils.errors import CommunicationError, ValidationError
 
 
 class TestDistGraphCreateAdjacent:
@@ -57,6 +57,28 @@ class TestDistGraphCreateAdjacent:
             dist_graph_create_adjacent(comm, [99], [])
 
         with pytest.raises(CommunicationError):
+            run_spmd(2, program, timeout=5)
+
+    def test_out_of_range_neighbor_rejected_before_any_exchange(self):
+        """Malformed lists fail as ValidationError on the calling rank, before
+        the (collective) consistency exchange can deadlock or misbehave."""
+        comm = SimWorld(2).comm(0)
+        with pytest.raises(ValidationError, match="outside the communicator"):
+            dist_graph_create_adjacent(comm, [99], [], validate=True)
+        with pytest.raises(ValidationError, match="outside the communicator"):
+            dist_graph_create_adjacent(comm, [], [-1], validate=False)
+
+    def test_duplicate_neighbors_rejected(self):
+        comm = SimWorld(4).comm(0)
+        with pytest.raises(ValidationError, match="sources contains duplicate"):
+            dist_graph_create_adjacent(comm, [1, 2, 1], [3], validate=False)
+        with pytest.raises(ValidationError, match="destinations contains duplicate"):
+            dist_graph_create_adjacent(comm, [1], [3, 3], validate=False)
+
+        def program(comm):
+            dist_graph_create_adjacent(comm, [], [1 % comm.size, 1 % comm.size])
+
+        with pytest.raises(CommunicationError, match="duplicate"):
             run_spmd(2, program, timeout=5)
 
     def test_weights_must_match_lengths(self):
