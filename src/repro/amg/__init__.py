@@ -15,6 +15,7 @@ from repro.amg.interp import direct_interpolation
 from repro.amg.galerkin import galerkin_product
 from repro.amg.relax import (
     DistributedJacobi,
+    WorldJacobi,
     jacobi,
     weighted_jacobi_iteration,
     gauss_seidel_iteration,
@@ -42,6 +43,7 @@ __all__ = [
     "direct_interpolation",
     "galerkin_product",
     "DistributedJacobi",
+    "WorldJacobi",
     "jacobi",
     "weighted_jacobi_iteration",
     "gauss_seidel_iteration",

@@ -9,6 +9,9 @@ the solve phase whose SpMVs carry the communication being studied).
 per rank, with the residual's SpMV (and therefore the halo exchange) running
 through the array-native persistent neighborhood collective — the same
 communication the paper times inside BoomerAMG's solve phase.
+:class:`WorldJacobi` is its world-stepped twin: all ranks sweep in lockstep
+over one batched :class:`~repro.sparse.spmv.WorldSpMV`, so a sweep's halo
+exchange is O(phases) numpy calls for the whole communicator.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import scipy.sparse as sp
 from repro.utils.errors import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.sparse.spmv import DistributedSpMV
+    from repro.sparse.spmv import DistributedSpMV, WorldSpMV
 
 
 def _check_system(A: sp.spmatrix, b: np.ndarray, x: np.ndarray) -> sp.csr_matrix:
@@ -101,4 +104,46 @@ class DistributedJacobi:
         result = np.array(x_local, dtype=np.float64, copy=True)
         for _ in range(sweeps):
             result = self.sweep(b_local, result)
+        return result
+
+
+class WorldJacobi:
+    """World-stepped weighted-Jacobi smoother over a distributed operator.
+
+    Wraps a :class:`~repro.sparse.spmv.WorldSpMV`: every sweep performs *all*
+    ranks' halo exchanges through the batched exchange engine and then the
+    local residual updates, on a single thread.  A sweep is numerically
+    identical to :func:`weighted_jacobi_iteration` on the assembled global
+    system and byte-identical to running :class:`DistributedJacobi` on every
+    rank of the envelope-routed runtime.
+    """
+
+    def __init__(self, spmv: "WorldSpMV", *, omega: float = 2.0 / 3.0):
+        self.spmv = spmv
+        self.omega = float(omega)
+        diagonal = np.concatenate([
+            np.asarray(blocks.diag.diagonal(), dtype=np.float64)
+            for blocks in spmv.blocks
+        ])
+        if np.any(diagonal == 0.0):
+            raise ValidationError("Jacobi requires non-zero diagonal entries")
+        self._diagonal = diagonal
+
+    def sweep(self, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """One weighted-Jacobi sweep on the global vectors (out of place)."""
+        b = np.asarray(b, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        n = self.spmv.n_rows
+        if b.shape != (n,) or x.shape != (n,):
+            raise ValidationError(f"b and x must have shape ({n},)")
+        residual = b - self.spmv.multiply(x)
+        return x + self.omega * residual / self._diagonal
+
+    def smooth(self, b: np.ndarray, x: np.ndarray, *, sweeps: int = 1) -> np.ndarray:
+        """Run ``sweeps`` world-stepped Jacobi sweeps."""
+        if sweeps < 0:
+            raise ValidationError("sweeps must be >= 0")
+        result = np.array(x, dtype=np.float64, copy=True)
+        for _ in range(sweeps):
+            result = self.sweep(b, result)
         return result

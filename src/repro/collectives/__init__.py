@@ -48,11 +48,18 @@ from repro.collectives.exchange import (
     ExchangeSpec,
     CompiledExchange,
     CompiledPhase,
+    WorldExchange,
+    WorldPhaseProgram,
     compile_exchange,
+    compile_world_exchange,
 )
-from repro.collectives.persistent import PersistentNeighborCollective
+from repro.collectives.persistent import (
+    PersistentNeighborCollective,
+    WorldNeighborCollective,
+)
 from repro.collectives.api import (
     neighbor_alltoallv_init,
+    neighbor_alltoallv_init_world,
     neighbor_alltoallv,
     pack_alltoallv_buffers,
     unpack_alltoallv_buffers,
@@ -85,9 +92,14 @@ __all__ = [
     "ExchangeSpec",
     "CompiledExchange",
     "CompiledPhase",
+    "WorldExchange",
+    "WorldPhaseProgram",
     "compile_exchange",
+    "compile_world_exchange",
     "PersistentNeighborCollective",
+    "WorldNeighborCollective",
     "neighbor_alltoallv_init",
+    "neighbor_alltoallv_init_world",
     "neighbor_alltoallv",
     "pack_alltoallv_buffers",
     "unpack_alltoallv_buffers",

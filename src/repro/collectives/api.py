@@ -19,6 +19,31 @@ The exchange is dtype-generic: ``dtype`` and ``item_size`` describe the
 element type (e.g. ``dtype=np.float32, item_size=9`` for a D2Q9 lattice
 Boltzmann distribution halo) and determine the wire size of every message;
 the legacy ``item_bytes`` argument is only needed to model hypothetical sizes.
+
+For analysis and large-scale simulation there is also the *world-stepped*
+entry point :func:`neighbor_alltoallv_init_world`: it takes the global
+pattern directly and executes whole iterations for all ranks through the
+batched :class:`~repro.simmpi.engine.ExchangeEngine` — same results, same
+profiler totals, no threads.
+
+Example (doctest): rank 0 sends items 0 and 1 to rank 1, rank 1 sends item 5
+back, world-stepped.
+
+>>> import numpy as np
+>>> from repro.collectives import neighbor_alltoallv_init_world
+>>> from repro.pattern import CommPattern
+>>> from repro.topology import paper_mapping
+>>> pattern = CommPattern(2, {0: {1: [0, 1]}, 1: {0: [5]}})
+>>> mapping = paper_mapping(2, ranks_per_node=2)
+>>> collective = neighbor_alltoallv_init_world(pattern, mapping,
+...                                            variant="standard")
+>>> collective.owned_item_ids(0)
+array([0, 1])
+>>> halos = collective.exchange([np.array([10.0, 11.0]), np.array([50.0])])
+>>> halos[1]
+array([10., 11.])
+>>> halos[0]
+array([50.])
 """
 
 from __future__ import annotations
@@ -28,10 +53,15 @@ from typing import Dict, Mapping, Sequence, Tuple, Union
 import numpy as np
 
 from repro.collectives.aggregation import BalanceStrategy
-from repro.collectives.persistent import PersistentNeighborCollective
+from repro.collectives.persistent import (
+    PersistentNeighborCollective,
+    WorldNeighborCollective,
+)
 from repro.collectives.plan import Variant
 from repro.collectives.planner import make_plan
 from repro.pattern.comm_pattern import CommPattern
+from repro.simmpi.engine import ExchangeEngine
+from repro.simmpi.profiler import TrafficProfiler
 from repro.simmpi.topo_comm import DistGraphComm
 from repro.topology.mapping import RankMapping
 from repro.utils.arrays import (
@@ -166,6 +196,35 @@ def neighbor_alltoallv_init(graph_comm: DistGraphComm,
     plan = make_plan(pattern, mapping, variant, strategy=strategy)
     return PersistentNeighborCollective(graph_comm.comm, plan,
                                         dtype=dtype, item_size=item_size)
+
+
+def neighbor_alltoallv_init_world(pattern: CommPattern,
+                                  mapping: RankMapping,
+                                  *,
+                                  variant: Variant | str = Variant.PARTIAL,
+                                  strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                                  dtype: np.dtype | type | str | None = None,
+                                  item_size: int | None = None,
+                                  engine: ExchangeEngine | None = None,
+                                  profiler: TrafficProfiler | None = None
+                                  ) -> WorldNeighborCollective:
+    """Initialise a world-stepped persistent neighborhood all-to-all-v.
+
+    The batched counterpart of :func:`neighbor_alltoallv_init`: instead of one
+    per-rank handle built collectively over the simulated runtime, this takes
+    the already-global ``pattern`` (what the per-rank path assembles with its
+    setup gather), plans it once, compiles *every* rank's gather/scatter index
+    arrays, and registers them with a world
+    :class:`~repro.simmpi.engine.ExchangeEngine` — so one ``exchange`` call
+    moves a whole iteration for all ranks with O(phases) numpy calls.
+
+    ``dtype`` / ``item_size`` default to the pattern's element type.  Pass an
+    ``engine`` to share one engine (and its profiler) across collectives, or a
+    ``profiler`` to let the collective create a private engine around it.
+    """
+    plan = make_plan(pattern, mapping, Variant(variant), strategy=strategy)
+    return WorldNeighborCollective(plan, dtype=dtype, item_size=item_size,
+                                   engine=engine, profiler=profiler)
 
 
 def neighbor_alltoallv(graph_comm: DistGraphComm,

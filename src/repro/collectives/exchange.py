@@ -20,6 +20,14 @@ The compilation is dtype-generic: an :class:`ExchangeSpec` carries the element
 dtype and the number of components per item (``item_size`` — e.g. the
 distribution set of a lattice-Boltzmann site, or the DOFs of a multi-component
 unknown), and the work array has shape ``(n_rows, item_size)``.
+
+Beyond the per-rank form, :func:`compile_world_exchange` concatenates every
+rank's compiled exchange into one *world program*: a single work array spanning
+all ranks (per-rank row blocks), and per phase one world gather, one wire
+permutation, and one world scatter.  The
+:class:`~repro.simmpi.engine.ExchangeEngine` executes that program with
+O(phases) numpy calls for the whole communicator — no per-message envelopes,
+no per-rank Python loop on the data path.
 """
 
 from __future__ import annotations
@@ -36,8 +44,14 @@ from repro.collectives.plan import (
     PlannedMessage,
     Variant,
 )
-from repro.utils.arrays import INDEX_DTYPE, counts_to_displs, run_starts_mask
+from repro.utils.arrays import (
+    INDEX_DTYPE,
+    concatenate_or_empty,
+    counts_to_displs,
+    run_starts_mask,
+)
 from repro.utils.errors import PlanError, ValidationError
+from repro.utils.validation import check_value_preserving_cast
 
 #: Compile-time availability schedules, mirroring the *runtime* order of the
 #: executor exactly: a ``("send", phase)`` step may only gather keys that are
@@ -59,6 +73,27 @@ _AGGREGATED_SCHEDULE: Tuple[Tuple[str, Phase], ...] = (
     ("send", Phase.FINAL_REDIST),
     ("recv", Phase.FINAL_REDIST),
 )
+
+#: Tag offsets per phase so concurrent phases never match each other's traffic.
+#: Shared by the per-rank executor (request tags) and the world engine (bulk
+#: traffic accounting), so both report identical per-tag profiler data.
+PHASE_TAGS: Dict[Phase, int] = {
+    Phase.DIRECT: 10,
+    Phase.LOCAL: 11,
+    Phase.SETUP_REDIST: 12,
+    Phase.GLOBAL: 13,
+    Phase.FINAL_REDIST: 14,
+}
+
+
+def check_input_dtype(spec: ExchangeSpec, dtype: np.dtype) -> None:
+    """Reject value-corrupting input casts into an exchange of ``spec``.
+
+    Thin spec-flavoured wrapper over
+    :func:`repro.utils.validation.check_value_preserving_cast`, the rule the
+    per-rank executor and the world engine share.
+    """
+    check_value_preserving_cast(dtype, spec.dtype)
 
 
 @dataclass(frozen=True)
@@ -318,4 +353,189 @@ def compile_exchange(plan: CollectivePlan, rank: int,
         result_sources=np.ascontiguousarray(result_sources, dtype=INDEX_DTYPE),
         result_rows=np.ascontiguousarray(result_rows, dtype=INDEX_DTYPE),
         phases=phases,
+    )
+
+
+# -- world-level compilation -----------------------------------------------------
+
+
+@dataclass
+class WorldPhaseProgram:
+    """All ranks' sends and receives of one phase, as three index arrays.
+
+    Executing the phase against the world work array is exactly
+
+    ``wire = work[gather]`` (every rank's send arenas, concatenated in rank
+    order) followed by ``work[scatter] = wire[wire_perm]`` (every rank's
+    receive arenas, reordered from wire/send order into receive order).
+
+    ``msg_sources`` / ``msg_dests`` / ``msg_nbytes`` describe every message of
+    the phase in wire order; the engine hands them to the profiler as one bulk
+    record per iteration, preserving the per-envelope byte/message accounting
+    without creating an envelope per message.
+    """
+
+    phase: Phase
+    tag: int
+    gather: np.ndarray
+    scatter: np.ndarray
+    wire_perm: np.ndarray
+    msg_sources: np.ndarray
+    msg_dests: np.ndarray
+    msg_nbytes: np.ndarray
+
+
+@dataclass
+class WorldExchange:
+    """Every rank's compiled exchange, concatenated into one world program.
+
+    Rank ``r``'s work-array rows live in the world block
+    ``[rank_bases[r], rank_bases[r] + compiled[r].n_rows)``.  ``owned_rows``
+    and ``result_rows`` are world-row index arrays for loading all ranks'
+    dense inputs and gathering all ranks' dense outputs with one fancy index
+    each; ``owned_offsets`` / ``result_offsets`` delimit each rank's slice of
+    those concatenations.  ``steps`` is the runtime schedule: ``("send", p)``
+    packs phase ``p``'s wire, ``("recv", p)`` delivers it — the same order the
+    per-rank executor interleaves its ``pack``/``start``/``wait`` calls.
+    """
+
+    variant: Variant
+    spec: ExchangeSpec
+    n_ranks: int
+    n_world_rows: int
+    rank_bases: np.ndarray
+    owned_rows: np.ndarray
+    owned_offsets: np.ndarray
+    result_rows: np.ndarray
+    result_offsets: np.ndarray
+    steps: Tuple[Tuple[str, Phase], ...]
+    programs: Dict[Phase, WorldPhaseProgram]
+    compiled: List[CompiledExchange]
+
+    @property
+    def n_messages(self) -> int:
+        """Messages of one iteration across all ranks and phases."""
+        return sum(int(p.msg_sources.size) for p in self.programs.values())
+
+    def owned_item_ids(self, rank: int) -> np.ndarray:
+        """Item ids of ``rank``'s dense input, in input order (ascending)."""
+        return self.compiled[rank].owned_items
+
+    def recv_item_ids(self, rank: int) -> np.ndarray:
+        """Item ids of ``rank``'s dense output, in output order (ascending)."""
+        return self.compiled[rank].result_items
+
+    def recv_item_sources(self, rank: int) -> np.ndarray:
+        """Owning rank of every entry of ``recv_item_ids(rank)``."""
+        return self.compiled[rank].result_sources
+
+
+def compile_world_exchange(plan: CollectivePlan,
+                           spec: ExchangeSpec | None = None) -> WorldExchange:
+    """Compile all ranks' shares of ``plan`` into one batched world program.
+
+    Every rank is compiled with :func:`compile_exchange` (so the world program
+    is the per-rank programs, verbatim, re-based into one row space), then each
+    phase's messages are matched sender-to-receiver: the ``k``-th send from
+    ``src`` to ``dest`` in ``src``'s message order pairs with the ``k``-th
+    receive from ``src`` in ``dest``'s order — the same FIFO matching the
+    mailbox fabric performs — and the pairing becomes the phase's static
+    ``wire_perm``.  ``spec`` defaults to the pattern's dtype/item_size.
+    """
+    if spec is None:
+        spec = ExchangeSpec(dtype=plan.pattern.dtype,
+                            item_size=plan.pattern.item_size)
+    n_ranks = plan.pattern.n_ranks
+    compiled = [compile_exchange(plan, rank, spec) for rank in range(n_ranks)]
+
+    rank_bases = counts_to_displs(np.fromiter((c.n_rows for c in compiled),
+                                              dtype=INDEX_DTYPE, count=n_ranks))
+    owned_rows = np.concatenate([
+        rank_bases[rank] + np.arange(c.n_owned, dtype=INDEX_DTYPE)
+        for rank, c in enumerate(compiled)
+    ]) if n_ranks else np.empty(0, dtype=INDEX_DTYPE)
+    owned_offsets = counts_to_displs(np.fromiter(
+        (c.n_owned for c in compiled), dtype=INDEX_DTYPE, count=n_ranks))
+    result_rows = np.concatenate([
+        rank_bases[rank] + c.result_rows for rank, c in enumerate(compiled)
+    ]) if n_ranks else np.empty(0, dtype=INDEX_DTYPE)
+    result_offsets = counts_to_displs(np.fromiter(
+        (c.n_result for c in compiled), dtype=INDEX_DTYPE, count=n_ranks))
+
+    if plan.variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
+        order, schedule = (Phase.DIRECT,), _DIRECT_SCHEDULE
+    else:
+        order, schedule = AGGREGATED_PHASES, _AGGREGATED_SCHEDULE
+
+    programs: Dict[Phase, WorldPhaseProgram] = {}
+    for index, phase in enumerate(order):
+        gather_parts: List[np.ndarray] = []
+        scatter_parts: List[np.ndarray] = []
+        sources: List[int] = []
+        dests: List[int] = []
+        counts: List[int] = []
+        # Wire layout: rank by rank, message by message, in send order.  The
+        # dict maps each message (by identity — every PlannedMessage appears in
+        # exactly one sender's and one receiver's list) to its wire slice.
+        wire_slices: Dict[int, Tuple[int, int]] = {}
+        offset = 0
+        for rank, world in enumerate(compiled):
+            cp = world.phases[index]
+            gather_parts.append(rank_bases[rank] + cp.gather)
+            send_offsets = cp.send_offsets
+            for i, message in enumerate(cp.send_messages):
+                start = offset + int(send_offsets[i])
+                stop = offset + int(send_offsets[i + 1])
+                wire_slices[id(message)] = (start, stop)
+                sources.append(message.src)
+                dests.append(message.dest)
+                counts.append(stop - start)
+            offset += int(cp.gather.size)
+        perm_parts: List[np.ndarray] = []
+        for rank, world in enumerate(compiled):
+            cp = world.phases[index]
+            scatter_parts.append(rank_bases[rank] + cp.scatter)
+            recv_offsets = cp.recv_offsets
+            for i, message in enumerate(cp.recv_messages):
+                start, stop = wire_slices[id(message)]
+                expected = int(recv_offsets[i + 1] - recv_offsets[i])
+                if stop - start != expected:
+                    raise PlanError(
+                        f"phase-{phase.value} message {message.src}->"
+                        f"{message.dest} packs {stop - start} items but the "
+                        f"receiver unpacks {expected}"
+                    )
+                perm_parts.append(np.arange(start, stop, dtype=INDEX_DTYPE))
+        gather = concatenate_or_empty(gather_parts)
+        scatter = concatenate_or_empty(scatter_parts)
+        wire_perm = concatenate_or_empty(perm_parts)
+        if wire_perm.size != scatter.size:
+            raise PlanError(
+                f"phase-{phase.value} wire permutation covers {wire_perm.size} "
+                f"items but the world scatter expects {scatter.size}"
+            )
+        programs[phase] = WorldPhaseProgram(
+            phase=phase,
+            tag=PHASE_TAGS[phase],
+            gather=gather,
+            scatter=scatter,
+            wire_perm=wire_perm,
+            msg_sources=np.asarray(sources, dtype=INDEX_DTYPE),
+            msg_dests=np.asarray(dests, dtype=INDEX_DTYPE),
+            msg_nbytes=np.asarray(counts, dtype=INDEX_DTYPE) * spec.item_bytes,
+        )
+
+    return WorldExchange(
+        variant=plan.variant,
+        spec=spec,
+        n_ranks=n_ranks,
+        n_world_rows=int(rank_bases[-1]),
+        rank_bases=rank_bases,
+        owned_rows=owned_rows,
+        owned_offsets=owned_offsets,
+        result_rows=result_rows,
+        result_offsets=result_offsets,
+        steps=schedule,
+        programs=programs,
+        compiled=compiled,
     )

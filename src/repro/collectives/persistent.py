@@ -28,24 +28,25 @@ from typing import Dict, List, Mapping, Union
 import numpy as np
 
 from repro.collectives.exchange import (
+    PHASE_TAGS,
     CompiledExchange,
     CompiledPhase,
     ExchangeSpec,
+    WorldExchange,
     compile_exchange,
+    compile_world_exchange,
 )
 from repro.collectives.plan import CollectivePlan, Phase, Variant
 from repro.simmpi.comm import SimComm
+from repro.simmpi.engine import ExchangeEngine, WorldValues
+from repro.simmpi.profiler import TrafficProfiler
 from repro.simmpi.request import PersistentRecvRequest, PersistentSendRequest
 from repro.utils.errors import CommunicationError, PlanError, ValidationError
+from repro.utils.validation import check_value_preserving_cast
 
-#: Tag offsets per phase so concurrent phases never match each other's traffic.
-_PHASE_TAGS = {
-    Phase.DIRECT: 10,
-    Phase.LOCAL: 11,
-    Phase.SETUP_REDIST: 12,
-    Phase.GLOBAL: 13,
-    Phase.FINAL_REDIST: 14,
-}
+#: Tag offsets per phase so concurrent phases never match each other's traffic
+#: (shared with the world engine's bulk accounting).
+_PHASE_TAGS = PHASE_TAGS
 
 
 def _gather_into(work: np.ndarray, indices: np.ndarray, out: np.ndarray) -> None:
@@ -308,18 +309,9 @@ class PersistentNeighborCollective:
     def _check_input_dtype(self, dtype: np.dtype) -> None:
         """Reject value-corrupting input casts (same rule for array and dict input).
 
-        Within-kind narrowing (float64 -> float32) is C-style assignment and
-        allowed; cross-kind casts must be value-preserving — int64 into a
-        float collective or complex into a real one would corrupt data
-        silently.
+        Delegates to the rule shared with the world-stepped engine.
         """
-        if dtype != self.spec.dtype and dtype.kind != self.spec.dtype.kind \
-                and not np.can_cast(dtype, self.spec.dtype, casting="safe"):
-            raise ValidationError(
-                f"values of dtype {dtype} cannot be safely cast to the "
-                f"collective's {self.spec.dtype}; cast explicitly if truncation "
-                "is intended"
-            )
+        check_value_preserving_cast(dtype, self.spec.dtype)
 
     def _load_owned(self, values: np.ndarray) -> None:
         """Copy the caller's dense input into the owned rows of the work array."""
@@ -345,5 +337,94 @@ class PersistentNeighborCollective:
     def describe(self) -> str:
         """Short human-readable summary."""
         return (f"rank {self.rank}: {self.variant.value} collective, "
+                f"{self.messages_per_iteration()} messages/iteration, "
+                f"{self.spec.item_size}x{self.spec.dtype.name} items")
+
+
+class WorldNeighborCollective:
+    """All ranks' persistent handles, fused into one world-stepped collective.
+
+    Where :class:`PersistentNeighborCollective` is one rank's view of a plan
+    (run one instance per simulated-rank thread), a world collective holds
+    *every* rank's compiled gather/scatter arrays and executes a whole
+    iteration for the whole communicator through the batched
+    :class:`~repro.simmpi.engine.ExchangeEngine` — O(phases) numpy calls, no
+    per-message envelopes, no threads.  Results are byte-identical to running
+    the per-rank executor on the envelope-routed runtime, and an attached
+    profiler sees identical data-path byte/message totals.
+
+    ``exchange`` takes one dense array per rank (each in that rank's
+    ``owned_item_ids`` order, or one flat concatenation in rank order) and
+    returns one dense array per rank in ``recv_item_ids`` order.
+    """
+
+    def __init__(self, plan: CollectivePlan, *,
+                 dtype: np.dtype | type | str | None = None,
+                 item_size: int | None = None,
+                 engine: ExchangeEngine | None = None,
+                 profiler: TrafficProfiler | None = None):
+        if engine is not None and profiler is not None \
+                and engine.profiler is not profiler:
+            raise ValidationError(
+                "pass either an engine (with its own profiler) or a profiler, "
+                "not both"
+            )
+        self.plan = plan
+        self.variant = plan.variant
+        self.spec = ExchangeSpec(
+            dtype=np.dtype(dtype) if dtype is not None else plan.pattern.dtype,
+            item_size=int(item_size) if item_size is not None
+            else plan.pattern.item_size,
+        )
+        self.world: WorldExchange = compile_world_exchange(plan, self.spec)
+        self.engine = engine if engine is not None else \
+            ExchangeEngine(self.world.n_ranks, profiler=profiler)
+        self._handle = self.engine.register(self.world)
+
+    # -- index metadata (per rank) --------------------------------------------
+
+    @property
+    def n_ranks(self) -> int:
+        """Ranks of the communicator the collective spans."""
+        return self.world.n_ranks
+
+    def owned_item_ids(self, rank: int) -> np.ndarray:
+        """Item ids of ``rank``'s dense input, in input order (ascending)."""
+        return self.world.owned_item_ids(rank)
+
+    def recv_item_ids(self, rank: int) -> np.ndarray:
+        """Item ids of ``rank``'s dense output, in output order (ascending)."""
+        return self.world.recv_item_ids(rank)
+
+    def recv_item_sources(self, rank: int) -> np.ndarray:
+        """Owning rank of every entry of ``recv_item_ids(rank)``."""
+        return self.world.recv_item_sources(rank)
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of the exchange."""
+        return self.spec.dtype
+
+    @property
+    def item_size(self) -> int:
+        """Components per item."""
+        return self.spec.item_size
+
+    # -- execution -------------------------------------------------------------
+
+    def exchange(self, values: WorldValues) -> List[np.ndarray]:
+        """One full iteration for every rank (start + wait, world-stepped)."""
+        return self.engine.run(self._handle, values)
+
+    # -- introspection ----------------------------------------------------------
+
+    def messages_per_iteration(self) -> int:
+        """Messages the whole communicator sends every iteration."""
+        return self.world.n_messages
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        return (f"world {self.variant.value} collective over "
+                f"{self.world.n_ranks} ranks, "
                 f"{self.messages_per_iteration()} messages/iteration, "
                 f"{self.spec.item_size}x{self.spec.dtype.name} items")

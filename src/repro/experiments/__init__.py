@@ -7,10 +7,18 @@ render itself as the table/series the corresponding figure plots.  The
 :mod:`repro.experiments.runner` runs everything and prints a full report.
 """
 
-from repro.experiments.config import ExperimentConfig, ExperimentContext
+from repro.experiments.config import (
+    ExperimentConfig,
+    ExperimentContext,
+    measured_level_times,
+)
 from repro.experiments.graph_creation import GraphCreationResult, run_graph_creation
 from repro.experiments.crossover import CrossoverResult, run_crossover
-from repro.experiments.per_level import PerLevelResult, run_per_level
+from repro.experiments.per_level import (
+    PerLevelResult,
+    executed_statistics,
+    run_per_level,
+)
 from repro.experiments.scaling import ScalingResult, run_strong_scaling, run_weak_scaling
 from repro.experiments.ablation import (
     SelectionAblationResult,
@@ -18,11 +26,14 @@ from repro.experiments.ablation import (
     run_selection_ablation,
     run_balance_ablation,
 )
-from repro.experiments.runner import run_all_experiments
+from repro.experiments.runner import FIGURE_KEYS, run_all_experiments
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentContext",
+    "measured_level_times",
+    "executed_statistics",
+    "FIGURE_KEYS",
     "GraphCreationResult",
     "run_graph_creation",
     "CrossoverResult",

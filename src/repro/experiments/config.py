@@ -12,18 +12,62 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.amg.comm_analysis import LevelCommProfile, hierarchy_comm_profiles
 from repro.amg.hierarchy import AMGHierarchy, build_hierarchy, redistribute_hierarchy
 from repro.collectives.aggregation import BalanceStrategy
+from repro.collectives.persistent import WorldNeighborCollective
+from repro.collectives.plan import Variant
 from repro.perfmodel.base import CostModel
 from repro.perfmodel.params import SetupCostModel, lassen_parameters
 from repro.sparse.generators import strong_scaling_problem
 from repro.topology.mapping import RankMapping
 from repro.topology.presets import paper_mapping
 from repro.utils.errors import ValidationError
+
+#: Protocol order shared by the measured-execution helpers.
+ALL_VARIANTS = (Variant.POINT_TO_POINT, Variant.STANDARD,
+                Variant.PARTIAL, Variant.FULL)
+
+
+def measured_level_times(profiles: Sequence[LevelCommProfile], *,
+                         variants: Sequence[Variant] = ALL_VARIANTS,
+                         iterations: int = 3
+                         ) -> List[Dict[Variant, float]]:
+    """Wall-clock seconds of one world-stepped exchange round, per level and variant.
+
+    The *measured* counterpart of ``profile.times`` (which holds modeled
+    network times): every level's plan is compiled into a world exchange and
+    executed through the batched
+    :class:`~repro.simmpi.engine.ExchangeEngine`; the best of ``iterations``
+    rounds is recorded.  This is what "switching the experiment drivers onto
+    the world-stepped API" means operationally — the drivers can ask for real
+    execution cost at figure scale, which the envelope-routed runtime made
+    impractical beyond a few dozen ranks.
+    """
+    if iterations < 1:
+        raise ValidationError("iterations must be >= 1")
+    times: List[Dict[Variant, float]] = []
+    for profile in profiles:
+        per_variant: Dict[Variant, float] = {}
+        for variant in variants:
+            collective = WorldNeighborCollective(profile.plans[variant])
+            n_owned = int(collective.world.owned_offsets[-1])
+            values = np.zeros(n_owned, dtype=collective.dtype)
+            collective.exchange(values)  # warm the arenas
+            best = float("inf")
+            for _ in range(iterations):
+                start = time.perf_counter()
+                collective.exchange(values)
+                best = min(best, time.perf_counter() - start)
+            per_variant[variant] = best
+        times.append(per_variant)
+    return times
 
 
 @dataclass(frozen=True)
@@ -143,3 +187,9 @@ class ExperimentContext:
         return ExperimentContext(config=self.config.with_ranks(n_ranks),
                                  hierarchy=hierarchy, mapping=mapping,
                                  model=self.model, setup_model=self.setup_model)
+
+    def measured_level_times(self, *, variants: Sequence[Variant] = ALL_VARIANTS,
+                             iterations: int = 3) -> List[Dict[Variant, float]]:
+        """World-stepped measured exchange-round times (see module helper)."""
+        return measured_level_times(self.profiles, variants=variants,
+                                    iterations=iterations)

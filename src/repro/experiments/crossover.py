@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.collectives.plan import Variant
-from repro.experiments.config import ExperimentConfig, ExperimentContext
+from repro.experiments.config import ALL_VARIANTS, ExperimentConfig, ExperimentContext
 from repro.pattern.statistics import average_neighbors
 from repro.perfmodel.params import GraphCreationModel, graph_creation_model
 from repro.utils.formatting import format_series
@@ -79,8 +79,18 @@ def _initialisation_costs(context: ExperimentContext,
 def run_crossover(context: ExperimentContext | None = None, *,
                   config: ExperimentConfig | None = None,
                   mpi_implementation: str = "spectrum",
-                  iteration_counts: Sequence[int] | None = None) -> CrossoverResult:
-    """Reproduce Figure 7 for the configured problem and scale."""
+                  iteration_counts: Sequence[int] | None = None,
+                  use_measured_iteration: bool = False) -> CrossoverResult:
+    """Reproduce Figure 7 for the configured problem and scale.
+
+    With ``use_measured_iteration=True`` the per-iteration cost of every
+    protocol is *measured* — one world-stepped exchange round per level
+    through the batched engine
+    (:meth:`ExperimentContext.measured_level_times`) — instead of taken from
+    the locality-aware network model.  Measured numbers are this machine's
+    Python execution cost, not Lassen network time, so the resulting
+    crossovers characterise the simulator itself.
+    """
     if context is None:
         context = ExperimentContext.build(config or ExperimentConfig.from_environment())
     config = context.config
@@ -89,10 +99,11 @@ def run_crossover(context: ExperimentContext | None = None, *,
     graph_model = graph_creation_model(mpi_implementation)
 
     init_costs = _initialisation_costs(context, graph_model)
+    level_times = (context.measured_level_times() if use_measured_iteration
+                   else [profile.times for profile in context.profiles])
     per_iteration = {
-        variant: sum(profile.times[variant] for profile in context.profiles)
-        for variant in (Variant.POINT_TO_POINT, Variant.STANDARD,
-                        Variant.PARTIAL, Variant.FULL)
+        variant: sum(times[variant] for times in level_times)
+        for variant in ALL_VARIANTS
     }
 
     result = CrossoverResult(iteration_counts=iteration_counts,

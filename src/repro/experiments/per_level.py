@@ -14,8 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.collectives.plan import Variant
+import numpy as np
+
+from repro.collectives.plan import CollectivePlan, Variant
 from repro.experiments.config import ExperimentConfig, ExperimentContext
+from repro.pattern.statistics import PatternStatistics
 from repro.utils.formatting import format_series
 
 
@@ -65,9 +68,44 @@ class PerLevelResult:
                              title="Figure 11: SpMV communication time per level (seconds)")
 
 
+def executed_statistics(plan: CollectivePlan) -> PatternStatistics:
+    """Statistics *observed* by executing one world-stepped exchange round.
+
+    Runs the plan through the batched
+    :class:`~repro.simmpi.engine.ExchangeEngine` with a traffic profiler
+    attached and folds the profiler's bulk data-path counters into the same
+    :class:`PatternStatistics` container the planner produces.  The planner's
+    prediction and the engine's observation must agree exactly — the
+    equivalence tests pin it — so Figures 8-10 can be regenerated from real
+    executed traffic rather than from plan metadata.
+    """
+    from repro.collectives.persistent import WorldNeighborCollective
+    from repro.simmpi.profiler import TrafficProfiler
+
+    profiler = TrafficProfiler(plan.mapping)
+    collective = WorldNeighborCollective(plan, profiler=profiler)
+    n_owned = int(collective.world.owned_offsets[-1])
+    collective.exchange(np.zeros(n_owned, dtype=collective.dtype))
+    sources, dests, nbytes = profiler.data_columns()
+    stats = PatternStatistics(n_ranks=plan.pattern.n_ranks)
+    if sources.size:
+        stats.add_messages(sources, plan.mapping.same_region_many(sources, dests),
+                           nbytes)
+    return stats
+
+
 def run_per_level(context: ExperimentContext | None = None, *,
-                  config: ExperimentConfig | None = None) -> PerLevelResult:
-    """Reproduce the per-level analysis of Section 4.1 (Figures 8-11)."""
+                  config: ExperimentConfig | None = None,
+                  execute: bool = False) -> PerLevelResult:
+    """Reproduce the per-level analysis of Section 4.1 (Figures 8-11).
+
+    With ``execute=True`` the message/byte series of Figures 8-10 come from
+    :func:`executed_statistics` — one real world-stepped exchange round per
+    level and variant — instead of the planner's predicted statistics.  The
+    two are identical by construction; the flag exists so the figures can be
+    regenerated from observed traffic (and so any future divergence between
+    planner and runtime shows up in the figures themselves).
+    """
     if context is None:
         context = ExperimentContext.build(config or ExperimentConfig.from_environment())
     profiles = context.profiles
@@ -75,9 +113,14 @@ def run_per_level(context: ExperimentContext | None = None, *,
     result = PerLevelResult(levels=[p.level for p in profiles],
                             rows_per_level=[p.n_rows for p in profiles])
 
-    std = [p.statistics[Variant.STANDARD] for p in profiles]
-    par = [p.statistics[Variant.PARTIAL] for p in profiles]
-    ful = [p.statistics[Variant.FULL] for p in profiles]
+    if execute:
+        std = [executed_statistics(p.plans[Variant.STANDARD]) for p in profiles]
+        par = [executed_statistics(p.plans[Variant.PARTIAL]) for p in profiles]
+        ful = [executed_statistics(p.plans[Variant.FULL]) for p in profiles]
+    else:
+        std = [p.statistics[Variant.STANDARD] for p in profiles]
+        par = [p.statistics[Variant.PARTIAL] for p in profiles]
+        ful = [p.statistics[Variant.FULL] for p in profiles]
 
     result.local_messages = {
         "standard_local": [s.max_local_messages for s in std],

@@ -2,15 +2,18 @@
 
 ``python -m repro.experiments.runner`` regenerates all figure series with the
 default (reduced) configuration; ``--paper`` switches to the paper's full-size
-configuration (slow in pure Python).  The same functions are reused by the
-pytest-benchmark targets in ``benchmarks/``.
+configuration (slow in pure Python; the world-stepped exchange engine is what
+keeps it tractable at all).  ``--figures fig07_crossover,fig12_strong_scaling``
+restricts the run to a subset — handy for docs examples that only need one
+figure.  The same functions are reused by the pytest-benchmark targets in
+``benchmarks/``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict
+from typing import Dict, Sequence
 
 from repro.experiments.ablation import run_balance_ablation, run_selection_ablation
 from repro.experiments.config import ExperimentConfig, ExperimentContext
@@ -18,24 +21,65 @@ from repro.experiments.crossover import run_crossover
 from repro.experiments.graph_creation import run_graph_creation
 from repro.experiments.per_level import run_per_level
 from repro.experiments.scaling import run_strong_scaling, run_weak_scaling
+from repro.utils.errors import ValidationError
+
+#: Every figure the runner knows, in report order.  Weak scaling and the
+#: ablations are the expensive tail, which is why the CLI can skip them.
+FIGURE_KEYS = (
+    "fig06_graph_creation",
+    "fig07_crossover",
+    "fig08_11_per_level",
+    "fig12_strong_scaling",
+    "fig13_weak_scaling",
+    "ablation_selection",
+    "ablation_balance",
+)
+
+#: Figures that need the shared (hierarchy-bearing) experiment context.
+_CONTEXT_FIGURES = frozenset({
+    "fig07_crossover", "fig08_11_per_level", "fig12_strong_scaling",
+    "ablation_selection", "ablation_balance",
+})
 
 
 def run_all_experiments(config: ExperimentConfig | None = None, *,
                         include_weak_scaling: bool = True,
-                        include_ablations: bool = True) -> Dict[str, object]:
-    """Run every experiment once and return the result objects keyed by figure."""
+                        include_ablations: bool = True,
+                        figures: Sequence[str] | None = None) -> Dict[str, object]:
+    """Run the selected experiments once and return result objects keyed by figure.
+
+    ``figures`` restricts the run to a subset of :data:`FIGURE_KEYS` (defaults
+    to all of them); the expensive AMG-hierarchy context is only built when a
+    selected figure needs it, so e.g. ``figures=["fig06_graph_creation"]``
+    runs in seconds.  ``include_weak_scaling`` / ``include_ablations`` remain
+    as coarse switches applied on top of the selection.
+    """
     config = config or ExperimentConfig.from_environment()
-    context = ExperimentContext.build(config)
+    selected = list(figures) if figures is not None else list(FIGURE_KEYS)
+    unknown = [key for key in selected if key not in FIGURE_KEYS]
+    if unknown:
+        raise ValidationError(
+            f"unknown figure keys {unknown}; valid keys: {', '.join(FIGURE_KEYS)}"
+        )
+    if not include_weak_scaling:
+        selected = [key for key in selected if key != "fig13_weak_scaling"]
+    if not include_ablations:
+        selected = [key for key in selected if not key.startswith("ablation_")]
+    context = (ExperimentContext.build(config)
+               if any(key in _CONTEXT_FIGURES for key in selected) else None)
+    runners = {
+        "fig06_graph_creation": lambda: run_graph_creation(config),
+        "fig07_crossover": lambda: run_crossover(context),
+        "fig08_11_per_level": lambda: run_per_level(context),
+        "fig12_strong_scaling": lambda: run_strong_scaling(context),
+        "fig13_weak_scaling": lambda: run_weak_scaling(config),
+        "ablation_selection": lambda: run_selection_ablation(context),
+        "ablation_balance": lambda: run_balance_ablation(context),
+    }
     results: Dict[str, object] = {}
-    results["fig06_graph_creation"] = run_graph_creation(config)
-    results["fig07_crossover"] = run_crossover(context)
-    results["fig08_11_per_level"] = run_per_level(context)
-    results["fig12_strong_scaling"] = run_strong_scaling(context)
-    if include_weak_scaling:
-        results["fig13_weak_scaling"] = run_weak_scaling(config)
-    if include_ablations:
-        results["ablation_selection"] = run_selection_ablation(context)
-        results["ablation_balance"] = run_balance_ablation(context)
+    for key in FIGURE_KEYS:  # preserve report order regardless of input order
+        if key in selected:
+            results[key] = runners[key]()
     return results
 
 
@@ -55,7 +99,7 @@ def render_report(results: Dict[str, object]) -> str:
     for key, renderer in order:
         if key in results:
             sections.append(renderer(results[key]))
-    return "\n\n" .join(sections)
+    return "\n\n".join(sections)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -63,15 +107,20 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="Reproduce the paper's evaluation figures")
     parser.add_argument("--paper", action="store_true",
                         help="use the paper's full-size configuration (slow)")
+    parser.add_argument("--figures", type=str, default=None, metavar="KEYS",
+                        help="comma-separated figure keys to run "
+                             f"(default: all; valid: {', '.join(FIGURE_KEYS)})")
     parser.add_argument("--skip-weak", action="store_true",
                         help="skip the weak-scaling study (it rebuilds hierarchies)")
     parser.add_argument("--skip-ablations", action="store_true",
                         help="skip the ablation studies")
     args = parser.parse_args(argv)
     config = ExperimentConfig.paper() if args.paper else ExperimentConfig.from_environment()
+    figures = args.figures.split(",") if args.figures else None
     results = run_all_experiments(config,
                                   include_weak_scaling=not args.skip_weak,
-                                  include_ablations=not args.skip_ablations)
+                                  include_ablations=not args.skip_ablations,
+                                  figures=figures)
     print(render_report(results))
     return 0
 

@@ -62,25 +62,48 @@ class ScalingResult:
                              x_label="processes", title=title)
 
 
-def _protocol_times(profiles, *, best_per_level: bool) -> Dict[str, float]:
-    """Sum per-level times; optimized protocols may fall back to standard per level."""
+def _protocol_times(level_times: Sequence[Dict[Variant, float]], *,
+                    best_per_level: bool) -> Dict[str, float]:
+    """Sum per-level times; optimized protocols may fall back to standard per level.
+
+    ``level_times`` holds one ``{variant: seconds}`` mapping per level — either
+    the modeled ``profile.times`` or the engine-measured
+    :func:`~repro.experiments.config.measured_level_times`.
+    """
     totals: Dict[str, float] = {}
     for label, variant in _PROTOCOLS.items():
         total = 0.0
-        for profile in profiles:
-            time = profile.times[variant]
+        for times in level_times:
+            time = times[variant]
             if best_per_level and variant in (Variant.PARTIAL, Variant.FULL):
-                time = min(time, profile.times[Variant.STANDARD])
+                time = min(time, times[Variant.STANDARD])
             total += time
         totals[label] = total
     return totals
 
 
+def _level_times(profiles, *, measured: bool) -> Sequence[Dict[Variant, float]]:
+    """Per-level time mappings: modeled by default, world-stepped measured on demand."""
+    if measured:
+        from repro.experiments.config import measured_level_times
+
+        return measured_level_times(profiles)
+    return [profile.times for profile in profiles]
+
+
 def run_strong_scaling(context: ExperimentContext | None = None, *,
                        config: ExperimentConfig | None = None,
                        process_counts: Sequence[int] | None = None,
-                       best_per_level: bool = True) -> ScalingResult:
-    """Reproduce Figure 12: fixed problem size, growing process count."""
+                       best_per_level: bool = True,
+                       use_measured_iteration: bool = False) -> ScalingResult:
+    """Reproduce Figure 12: fixed problem size, growing process count.
+
+    With ``use_measured_iteration=True`` every scale's per-level times are
+    measured by executing one world-stepped exchange round per level through
+    the batched engine instead of evaluated with the network model — real
+    execution cost of this machine's simulator, tractable even at paper-scale
+    rank counts.
+    """
     if context is None:
         context = ExperimentContext.build(config or ExperimentConfig.from_environment())
     config = context.config
@@ -91,7 +114,9 @@ def run_strong_scaling(context: ExperimentContext | None = None, *,
         result.times[label] = []
     for n_ranks in process_counts:
         scaled = context.redistributed(n_ranks)
-        totals = _protocol_times(scaled.profiles, best_per_level=best_per_level)
+        totals = _protocol_times(
+            _level_times(scaled.profiles, measured=use_measured_iteration),
+            best_per_level=best_per_level)
         for label, total in totals.items():
             result.times[label].append(total)
     return result
@@ -100,8 +125,12 @@ def run_strong_scaling(context: ExperimentContext | None = None, *,
 def run_weak_scaling(config: ExperimentConfig | None = None, *,
                      process_counts: Sequence[int] | None = None,
                      rows_per_rank: int | None = None,
-                     best_per_level: bool = True) -> ScalingResult:
-    """Reproduce Figure 13: fixed rows per process, growing process count."""
+                     best_per_level: bool = True,
+                     use_measured_iteration: bool = False) -> ScalingResult:
+    """Reproduce Figure 13: fixed rows per process, growing process count.
+
+    ``use_measured_iteration`` behaves as in :func:`run_strong_scaling`.
+    """
     config = config or ExperimentConfig.from_environment()
     process_counts = list(process_counts if process_counts is not None
                           else config.scaling_ranks)
@@ -119,7 +148,9 @@ def run_weak_scaling(config: ExperimentConfig | None = None, *,
         model = lassen_parameters(active_per_node=config.ranks_per_node)
         profiles = hierarchy_comm_profiles(hierarchy, mapping, model=model,
                                            strategy=config.strategy)
-        totals = _protocol_times(profiles, best_per_level=best_per_level)
+        totals = _protocol_times(
+            _level_times(profiles, measured=use_measured_iteration),
+            best_per_level=best_per_level)
         for label, total in totals.items():
             result.times[label].append(total)
     return result

@@ -34,11 +34,14 @@ from repro.simmpi.request import (
     wait_all,
 )
 from repro.simmpi.comm import SimComm
+from repro.simmpi.engine import ExchangeEngine
 from repro.simmpi.world import SimWorld, run_spmd
 from repro.simmpi.topo_comm import DistGraphComm, dist_graph_create_adjacent
-from repro.simmpi.profiler import TrafficProfiler, TrafficRecord
+from repro.simmpi.profiler import TrafficBatch, TrafficProfiler, TrafficRecord
 
 __all__ = [
+    "ExchangeEngine",
+    "TrafficBatch",
     "MessageFabric",
     "Request",
     "PersistentRequest",

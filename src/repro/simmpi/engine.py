@@ -1,0 +1,187 @@
+"""The world-stepped exchange engine: batched columnar delivery for all ranks.
+
+The envelope-routed runtime (:mod:`repro.simmpi.mailbox`) moves one Python
+:class:`~repro.simmpi.mailbox.Envelope` per message — faithful to MPI
+semantics, and the pinned reference — but a full exchange round costs
+O(messages) Python work.  The :class:`ExchangeEngine` executes the same
+exchange as a *world program*
+(:class:`~repro.collectives.exchange.WorldExchange`): every rank's work array
+becomes a block of one world work array, and a whole phase for the whole
+communicator is
+
+* one fancy-index gather (``wire = work[gather]``, all ranks' send arenas),
+* one bulk profiler record (byte/message counters for every message), and
+* one permuted fancy-index scatter (``work[scatter] = wire[perm]``, all
+  ranks' receive arenas),
+
+so an exchange round is O(phases) numpy calls regardless of rank count.  The
+engine produces byte-identical results and identical profiler data-path
+totals to the envelope-routed path; the per-envelope mailbox remains in place
+for control-plane and object traffic (setup gathers, barriers).
+
+The engine deliberately knows nothing about plans or patterns: it executes
+whatever registered program it is handed, which keeps :mod:`repro.simmpi`
+free of dependencies on :mod:`repro.collectives` (compilation lives there, in
+:func:`~repro.collectives.exchange.compile_world_exchange`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.simmpi.profiler import TrafficProfiler
+from repro.utils.errors import CommunicationError, ValidationError
+from repro.utils.validation import check_value_preserving_cast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
+    from repro.collectives.exchange import WorldExchange, WorldPhaseProgram
+
+#: Per-iteration input: one dense array per rank, or one flat concatenation of
+#: all ranks' owned values in rank order (the zero-copy fast path).
+WorldValues = Union[Sequence[np.ndarray], np.ndarray]
+
+
+@dataclass
+class _RegisteredProgram:
+    """Engine-side state of one registered world exchange."""
+
+    world: "WorldExchange"
+    work: np.ndarray
+    wires: Dict[object, np.ndarray]
+
+
+class ExchangeEngine:
+    """Executes registered world exchanges, one phase at a time for all ranks.
+
+    One engine serves one world (communicator size); any number of world
+    exchanges — e.g. one per AMG level — can be registered against it and
+    executed repeatedly.  When a :class:`TrafficProfiler` is attached, every
+    phase of every iteration is accounted through
+    :meth:`TrafficProfiler.record_batch` with exactly the messages the
+    envelope-routed path would have sent.
+    """
+
+    def __init__(self, n_ranks: int, *, profiler: TrafficProfiler | None = None):
+        if n_ranks <= 0:
+            raise CommunicationError("an exchange engine needs at least one rank")
+        self.n_ranks = int(n_ranks)
+        self.profiler = profiler
+        self._programs: List[_RegisteredProgram] = []
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, world: "WorldExchange") -> int:
+        """Register a compiled world exchange; returns its engine handle.
+
+        Mirrors ``neighbor_alltoallv_init``: registration allocates the
+        persistent world work array and one wire arena per phase, so the
+        per-iteration path performs no allocation-sized Python work beyond
+        numpy's own temporaries.
+        """
+        if world.n_ranks > self.n_ranks:
+            raise CommunicationError(
+                "world exchange spans more ranks than the engine provides"
+            )
+        spec = world.spec
+        work = np.zeros((world.n_world_rows, spec.item_size), dtype=spec.dtype)
+        wires = {
+            phase: np.empty((program.gather.size, spec.item_size),
+                            dtype=spec.dtype)
+            for phase, program in world.programs.items()
+        }
+        self._programs.append(_RegisteredProgram(world=world, work=work,
+                                                 wires=wires))
+        return len(self._programs) - 1
+
+    def _program(self, handle: int) -> _RegisteredProgram:
+        if handle < 0 or handle >= len(self._programs):
+            raise CommunicationError(f"unknown exchange handle {handle}")
+        return self._programs[handle]
+
+    # -- per-iteration execution ----------------------------------------------
+
+    def run(self, handle: int, values: WorldValues) -> List[np.ndarray]:
+        """Execute one full exchange round for every rank (start + wait).
+
+        ``values`` holds every rank's owned item values, either as a sequence
+        of per-rank dense arrays (each in that rank's ``owned_item_ids``
+        order) or as one flat array concatenating them in rank order.  Returns
+        one dense array per rank, in that rank's ``recv_item_ids`` order —
+        the same values ``PersistentNeighborCollective.wait`` hands each rank
+        on the envelope-routed path.
+        """
+        state = self._program(handle)
+        world = state.world
+        work = state.work
+        work[world.owned_rows] = self._load_values(world, values)
+        for kind, phase in world.steps:
+            program = world.programs[phase]
+            if kind == "send":
+                wire = state.wires[phase]
+                if program.gather.size:
+                    np.take(work, program.gather, axis=0, out=wire)
+                self._account(program)
+            else:
+                if program.scatter.size:
+                    work[program.scatter] = state.wires[phase][program.wire_perm]
+        flat = work[world.result_rows]
+        if world.spec.item_size == 1:
+            flat = flat.reshape(-1)
+        offsets = world.result_offsets
+        return [flat[offsets[rank]:offsets[rank + 1]]
+                for rank in range(world.n_ranks)]
+
+    # -- helpers --------------------------------------------------------------
+
+    def _load_values(self, world: "WorldExchange",
+                     values: WorldValues) -> np.ndarray:
+        """Validate and concatenate the per-iteration input into owned rows."""
+        spec = world.spec
+        n_owned_total = int(world.owned_offsets[-1])
+        if isinstance(values, np.ndarray):
+            check_value_preserving_cast(values.dtype, spec.dtype)
+            flat = values.astype(spec.dtype, copy=False)
+            expected = (n_owned_total,) if spec.item_size == 1 \
+                else (n_owned_total, spec.item_size)
+            if flat.shape != expected and \
+                    flat.shape != (n_owned_total, spec.item_size):
+                raise ValidationError(
+                    f"flat world input must have shape {expected}, "
+                    f"got {flat.shape}"
+                )
+            return flat.reshape(n_owned_total, spec.item_size)
+        if len(values) != world.n_ranks:
+            raise ValidationError(
+                f"expected one value array per rank ({world.n_ranks}), "
+                f"got {len(values)}"
+            )
+        parts: List[np.ndarray] = []
+        offsets = world.owned_offsets
+        for rank, rank_values in enumerate(values):
+            array = np.asarray(rank_values)
+            check_value_preserving_cast(array.dtype, spec.dtype)
+            array = array.astype(spec.dtype, copy=False)
+            n_owned = int(offsets[rank + 1] - offsets[rank])
+            expected = (n_owned,) if spec.item_size == 1 \
+                else (n_owned, spec.item_size)
+            if array.shape != expected and \
+                    array.shape != (n_owned, spec.item_size):
+                raise ValidationError(
+                    f"rank {rank} owns {n_owned} items of size "
+                    f"{spec.item_size}; values must have shape {expected}, "
+                    f"got {array.shape}"
+                )
+            parts.append(array.reshape(n_owned, spec.item_size))
+        if not parts:
+            return np.empty((0, spec.item_size), dtype=spec.dtype)
+        return np.concatenate(parts)
+
+    def _account(self, program: "WorldPhaseProgram") -> None:
+        """Bulk-record the phase's messages with the attached profiler."""
+        if self.profiler is None or program.msg_sources.size == 0:
+            return
+        self.profiler.record_batch(program.msg_sources, program.msg_dests,
+                                   program.msg_nbytes, tag=program.tag)

@@ -5,18 +5,37 @@ The profiler records every envelope a rank sends, classifies it by locality
 per-process and per-class statistics that the integration tests compare against
 the pure planner's predictions — if the functional collectives and the planner
 ever disagree about how many inter-region bytes move, something is wrong.
+
+Traffic arrives through two doors:
+
+* :meth:`TrafficProfiler.record_envelope` — the per-message callback the
+  envelope-routed mailbox path installs on every :class:`SimComm`;
+* :meth:`TrafficProfiler.record_batch` — the bulk counters the world-stepped
+  :class:`~repro.simmpi.engine.ExchangeEngine` calls once per phase with
+  column arrays describing *all* messages of the phase.
+
+Both doors feed the same counters, and a batch of N messages is accounted
+exactly like N envelope records (same filters, same locality classification),
+so byte/message totals are identical between the two execution paths — that
+equivalence is pinned by the engine's golden tests.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.simmpi.mailbox import Envelope
 from repro.topology.machine import Locality
 from repro.topology.mapping import RankMapping
+
+#: Code order of the vectorized locality classification (``Locality`` values).
+_LOCALITY_ORDER = (Locality.SELF, Locality.INTRA_SOCKET,
+                   Locality.INTER_SOCKET, Locality.INTER_NODE)
 
 
 @dataclass(frozen=True)
@@ -32,6 +51,45 @@ class TrafficRecord:
     is_array: bool = True
 
 
+@dataclass(frozen=True)
+class TrafficBatch:
+    """Many observed messages of one bulk record (one engine phase).
+
+    Column arrays are parallel: message ``i`` went ``sources[i] ->
+    dests[i]`` carrying ``nbytes[i]`` bytes.  ``locality_codes`` holds the
+    vectorized classification (``Locality`` integer values) or ``None`` when
+    the profiler has no mapping.
+    """
+
+    sources: np.ndarray
+    dests: np.ndarray
+    nbytes: np.ndarray
+    tag: int
+    locality_codes: Optional[np.ndarray]
+    is_array: bool = True
+
+    @property
+    def message_count(self) -> int:
+        """Messages in the batch."""
+        return int(self.sources.size)
+
+    def expand(self) -> List[TrafficRecord]:
+        """Materialise one :class:`TrafficRecord` per message (query-time only)."""
+        localities: List[Optional[Locality]]
+        if self.locality_codes is None:
+            localities = [None] * self.message_count
+        else:
+            localities = [_LOCALITY_ORDER[code]
+                          for code in self.locality_codes.tolist()]
+        return [TrafficRecord(source=s, dest=d, tag=self.tag, nbytes=b,
+                              locality=l, is_array=self.is_array)
+                for s, d, b, l in zip(self.sources.tolist(), self.dests.tolist(),
+                                      self.nbytes.tolist(), localities)]
+
+
+_Entry = Union[TrafficRecord, TrafficBatch]
+
+
 @dataclass
 class TrafficSummary:
     """Aggregated counters for one locality class (or for all traffic)."""
@@ -42,6 +100,11 @@ class TrafficSummary:
     def add(self, nbytes: int) -> None:
         self.message_count += 1
         self.byte_count += int(nbytes)
+
+    def add_bulk(self, message_count: int, byte_count: int) -> None:
+        """Account many messages at once (batch-record accumulation)."""
+        self.message_count += int(message_count)
+        self.byte_count += int(byte_count)
 
 
 class TrafficProfiler:
@@ -57,7 +120,7 @@ class TrafficProfiler:
         #: only data-path buffer traffic counts.
         self.ignore_object_messages = ignore_object_messages
         self._lock = threading.Lock()
-        self._records: List[TrafficRecord] = []
+        self._entries: List[_Entry] = []
 
     # -- recording -----------------------------------------------------------
 
@@ -75,26 +138,71 @@ class TrafficProfiler:
                                tag=envelope.tag, nbytes=envelope.nbytes,
                                locality=locality, is_array=is_array)
         with self._lock:
-            self._records.append(record)
+            self._entries.append(record)
+
+    def record_batch(self, sources: np.ndarray, dests: np.ndarray,
+                     nbytes: np.ndarray, *, tag: int = 0,
+                     is_array: bool = True) -> None:
+        """Record many messages with one call (the engine's bulk counters).
+
+        ``sources`` / ``dests`` / ``nbytes`` are parallel arrays, one entry
+        per message.  The same filters as :meth:`record_envelope` apply —
+        self-messages are dropped element-wise when ``ignore_self_messages``
+        is set — and locality classification runs vectorized, so a phase of
+        ten thousand messages costs one Python call, not ten thousand.
+        """
+        if self.ignore_object_messages and not is_array:
+            return
+        sources = np.asarray(sources, dtype=np.int64)
+        dests = np.asarray(dests, dtype=np.int64)
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        if not (sources.shape == dests.shape == nbytes.shape):
+            raise ValueError("record_batch columns must be parallel arrays")
+        if self.ignore_self_messages:
+            keep = sources != dests
+            if not keep.all():
+                sources, dests, nbytes = sources[keep], dests[keep], nbytes[keep]
+        if sources.size == 0:
+            return
+        codes = None
+        if self.mapping is not None:
+            codes = self.mapping.locality_codes(sources, dests)
+        batch = TrafficBatch(sources=sources, dests=dests, nbytes=nbytes,
+                             tag=int(tag), locality_codes=codes,
+                             is_array=is_array)
+        with self._lock:
+            self._entries.append(batch)
 
     def clear(self) -> None:
         """Drop all recorded traffic."""
         with self._lock:
-            self._records.clear()
+            self._entries.clear()
 
     # -- queries --------------------------------------------------------------
 
+    def _snapshot(self) -> List[_Entry]:
+        with self._lock:
+            return list(self._entries)
+
     @property
     def records(self) -> List[TrafficRecord]:
-        """Copy of all recorded messages."""
-        with self._lock:
-            return list(self._records)
+        """All recorded messages, batches expanded in recording order."""
+        expanded: List[TrafficRecord] = []
+        for entry in self._snapshot():
+            if isinstance(entry, TrafficBatch):
+                expanded.extend(entry.expand())
+            else:
+                expanded.append(entry)
+        return expanded
 
     def total(self) -> TrafficSummary:
         """Counters over all recorded messages."""
         summary = TrafficSummary()
-        for record in self.records:
-            summary.add(record.nbytes)
+        for entry in self._snapshot():
+            if isinstance(entry, TrafficBatch):
+                summary.add_bulk(entry.message_count, int(entry.nbytes.sum()))
+            else:
+                summary.add(entry.nbytes)
         return summary
 
     def object_traffic(self) -> TrafficSummary:
@@ -104,17 +212,64 @@ class TrafficProfiler:
         ``ignore_object_messages=False``.
         """
         summary = TrafficSummary()
-        for record in self.records:
-            if not record.is_array:
-                summary.add(record.nbytes)
+        for entry in self._snapshot():
+            if entry.is_array:
+                continue
+            if isinstance(entry, TrafficBatch):
+                summary.add_bulk(entry.message_count, int(entry.nbytes.sum()))
+            else:
+                summary.add(entry.nbytes)
         return summary
+
+    def data_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All data-path traffic as ``(sources, dests, nbytes)`` column arrays.
+
+        The bulk view observed-statistics consumers build on (one
+        ``np.bincount`` away from per-rank byte counts); batches contribute
+        their columns directly, per-envelope records are packed.
+        """
+        source_parts: List[np.ndarray] = []
+        dest_parts: List[np.ndarray] = []
+        nbyte_parts: List[np.ndarray] = []
+        singles: List[Tuple[int, int, int]] = []
+        for entry in self._snapshot():
+            if not entry.is_array:
+                continue
+            if isinstance(entry, TrafficBatch):
+                source_parts.append(entry.sources)
+                dest_parts.append(entry.dests)
+                nbyte_parts.append(entry.nbytes)
+            else:
+                singles.append((entry.source, entry.dest, entry.nbytes))
+        if singles:
+            columns = np.asarray(singles, dtype=np.int64).reshape(len(singles), 3)
+            source_parts.append(columns[:, 0])
+            dest_parts.append(columns[:, 1])
+            nbyte_parts.append(columns[:, 2])
+        if not source_parts:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        return (np.concatenate(source_parts), np.concatenate(dest_parts),
+                np.concatenate(nbyte_parts))
 
     def by_locality(self) -> Dict[Locality, TrafficSummary]:
         """Counters split by locality class (requires a mapping)."""
         summaries: Dict[Locality, TrafficSummary] = defaultdict(TrafficSummary)
-        for record in self.records:
-            if record.locality is not None:
-                summaries[record.locality].add(record.nbytes)
+        for entry in self._snapshot():
+            if isinstance(entry, TrafficBatch):
+                if entry.locality_codes is None:
+                    continue
+                counts = np.bincount(entry.locality_codes,
+                                     minlength=len(_LOCALITY_ORDER))
+                bytes_per_class = np.bincount(entry.locality_codes,
+                                              weights=entry.nbytes,
+                                              minlength=len(_LOCALITY_ORDER))
+                for code, locality in enumerate(_LOCALITY_ORDER):
+                    if counts[code]:
+                        summaries[locality].add_bulk(int(counts[code]),
+                                                     int(bytes_per_class[code]))
+            elif entry.locality is not None:
+                summaries[entry.locality].add(entry.nbytes)
         return dict(summaries)
 
     def per_rank(self, *, localities: Iterable[Locality] | None = None
@@ -122,10 +277,28 @@ class TrafficProfiler:
         """Counters of sent traffic per source rank, optionally filtered by class."""
         wanted = set(localities) if localities is not None else None
         summaries: Dict[int, TrafficSummary] = defaultdict(TrafficSummary)
-        for record in self.records:
-            if wanted is not None and record.locality not in wanted:
-                continue
-            summaries[record.source].add(record.nbytes)
+        for entry in self._snapshot():
+            if isinstance(entry, TrafficBatch):
+                sources, nbytes = entry.sources, entry.nbytes
+                if wanted is not None:
+                    if entry.locality_codes is None:
+                        continue
+                    keep = np.isin(entry.locality_codes,
+                                   np.asarray([int(l) for l in wanted]))
+                    sources, nbytes = sources[keep], nbytes[keep]
+                if sources.size == 0:
+                    continue
+                length = int(sources.max()) + 1
+                counts = np.bincount(sources, minlength=length)
+                byte_counts = np.bincount(sources, weights=nbytes,
+                                          minlength=length)
+                for rank in np.flatnonzero(counts):
+                    summaries[int(rank)].add_bulk(int(counts[rank]),
+                                                  int(byte_counts[rank]))
+            else:
+                if wanted is not None and entry.locality not in wanted:
+                    continue
+                summaries[entry.source].add(entry.nbytes)
         return dict(summaries)
 
     def max_messages_per_rank(self, *, localities: Iterable[Locality] | None = None) -> int:

@@ -11,13 +11,16 @@ from __future__ import annotations
 
 import threading
 import traceback
-from typing import Any, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
 from repro.simmpi.comm import SimComm
 from repro.simmpi.mailbox import MessageFabric
 from repro.simmpi.profiler import TrafficProfiler
 from repro.utils.errors import CommunicationError
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simmpi.engine import ExchangeEngine
 
 
 class SimWorld:
@@ -36,6 +39,17 @@ class SimWorld:
         callback = self.profiler.record_envelope if self.profiler is not None else None
         return SimComm(self.fabric, rank, self.n_ranks, context=0,
                        traffic_callback=callback)
+
+    def exchange_engine(self) -> "ExchangeEngine":
+        """Create a world-stepped :class:`ExchangeEngine` over this world's ranks.
+
+        The engine shares the world's profiler, so batched data-path traffic
+        lands in the same counters as envelope-routed traffic — the two
+        execution paths report identical totals for the same plan.
+        """
+        from repro.simmpi.engine import ExchangeEngine
+
+        return ExchangeEngine(self.n_ranks, profiler=self.profiler)
 
     def run(self, program: Callable[..., Any], *args: Any,
             rank_args: Optional[Sequence[tuple]] = None) -> List[Any]:

@@ -23,6 +23,7 @@ from repro.sparse.spmv import (
     sequential_spmv,
     distributed_spmv_results,
     DistributedSpMV,
+    WorldSpMV,
 )
 from repro.sparse.generators import (
     ScalingProblem,
@@ -46,6 +47,7 @@ __all__ = [
     "sequential_spmv",
     "distributed_spmv_results",
     "DistributedSpMV",
+    "WorldSpMV",
     "ScalingProblem",
     "strong_scaling_problem",
     "weak_scaling_problem",

@@ -7,6 +7,31 @@ runtime, exactly the structure of ``hypre_ParCSRMatrixMatvec``.  The
 integration tests run it at small rank counts and check the result against the
 sequential product to machine precision; that is the correctness argument for
 replacing Hypre's point-to-point communication with the optimized collectives.
+
+:class:`WorldSpMV` is the world-stepped form of the same computation: every
+rank's halo exchange runs through the batched
+:class:`~repro.simmpi.engine.ExchangeEngine` (one engine, no threads, no
+per-message envelopes), which is what makes paper-scale rank counts tractable
+in pure Python.  ``distributed_spmv_results`` executes through it by default
+and keeps the envelope-routed thread-per-rank path as the pinned reference
+(``runtime="threads"``); the two are byte-identical.
+
+Example (doctest): distribute a tiny matrix over 4 simulated ranks and check
+the world-stepped product against the sequential reference.
+
+>>> import numpy as np
+>>> from repro.sparse import ParCSRMatrix, RowPartition, poisson_2d
+>>> from repro.sparse.spmv import WorldSpMV, distributed_spmv_results, sequential_spmv
+>>> from repro.topology import paper_mapping
+>>> matrix = ParCSRMatrix(poisson_2d((6, 6)), RowPartition.even(36, 4))
+>>> mapping = paper_mapping(4, ranks_per_node=2)
+>>> x = np.arange(36, dtype=np.float64)
+>>> spmv = WorldSpMV(matrix, mapping, variant="full")
+>>> np.allclose(spmv.multiply(x), sequential_spmv(matrix, x))
+True
+>>> np.array_equal(distributed_spmv_results(matrix, mapping, x),
+...                spmv.multiply(x))
+True
 """
 
 from __future__ import annotations
@@ -16,10 +41,12 @@ from typing import Dict, List
 import numpy as np
 
 from repro.collectives.aggregation import BalanceStrategy
-from repro.collectives.api import neighbor_alltoallv_init
+from repro.collectives.api import neighbor_alltoallv_init, neighbor_alltoallv_init_world
 from repro.collectives.plan import Variant
 from repro.pattern.builders import neighbor_lists
 from repro.simmpi.comm import SimComm
+from repro.simmpi.engine import ExchangeEngine
+from repro.simmpi.profiler import TrafficProfiler
 from repro.simmpi.topo_comm import dist_graph_create_adjacent
 from repro.sparse.comm_pkg import build_comm_pkg, pattern_from_parcsr
 from repro.sparse.parcsr import ParCSRMatrix
@@ -106,23 +133,102 @@ class DistributedSpMV:
         return result
 
 
+class WorldSpMV:
+    """World-stepped distributed SpMV: all ranks advance in lockstep.
+
+    Holds every rank's local blocks plus one world-stepped collective for the
+    halo exchange, so ``multiply`` runs a full distributed product on a single
+    thread: one batched exchange round (O(phases) numpy calls across *all*
+    ranks) followed by the per-rank ``diag``/``offd`` products.  Numerically
+    this is byte-identical to running :class:`DistributedSpMV` on every rank
+    of the envelope-routed runtime — the equivalence tests pin it — but the
+    data path never creates a per-message Python object, which is what lets
+    the experiment drivers execute paper-scale rank counts.
+    """
+
+    def __init__(self, matrix: ParCSRMatrix, mapping: RankMapping, *,
+                 variant: Variant | str = Variant.PARTIAL,
+                 strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                 engine: ExchangeEngine | None = None,
+                 profiler: TrafficProfiler | None = None):
+        self.matrix = matrix
+        self.mapping = mapping
+        self.n_ranks = matrix.n_ranks
+        pattern = pattern_from_parcsr(matrix)
+        self.collective = neighbor_alltoallv_init_world(
+            pattern, mapping, variant=variant, strategy=strategy,
+            engine=engine, profiler=profiler)
+        self.blocks = [matrix.local_blocks(rank) for rank in range(self.n_ranks)]
+        # Per-rank index arrays, exactly as in DistributedSpMV: local-vector
+        # positions of the owned exchange input, and offd-column positions of
+        # the dense halo output.
+        self._owned_positions: List[np.ndarray] = []
+        self._halo_positions: List[np.ndarray] = []
+        for rank, blocks in enumerate(self.blocks):
+            first, _ = blocks.row_range
+            self._owned_positions.append(
+                self.collective.owned_item_ids(rank) - first)
+            col_map = blocks.col_map_offd
+            recv_ids = self.collective.recv_item_ids(rank)
+            sorter = np.argsort(col_map)
+            self._halo_positions.append(
+                sorter[np.searchsorted(col_map, recv_ids, sorter=sorter)])
+
+    @property
+    def n_rows(self) -> int:
+        """Global rows of the distributed operator."""
+        return self.matrix.n_rows
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``A @ x`` for the *global* vector ``x`` (one call, all ranks)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.matrix.n_rows,):
+            raise ValidationError(
+                f"x must have shape ({self.matrix.n_rows},), got {x.shape}"
+            )
+        values = [x[blocks.row_range[0]:blocks.row_range[1]][positions]
+                  for blocks, positions in zip(self.blocks, self._owned_positions)]
+        halos = self.collective.exchange(values)
+        result = np.empty(self.matrix.n_rows, dtype=np.float64)
+        for rank, blocks in enumerate(self.blocks):
+            first, last = blocks.row_range
+            local = blocks.diag @ x[first:last]
+            if blocks.n_offd_cols:
+                x_offd = np.zeros(blocks.n_offd_cols, dtype=np.float64)
+                x_offd[self._halo_positions[rank]] = halos[rank]
+                local = local + blocks.offd @ x_offd
+            result[first:last] = local
+        return result
+
+
 def distributed_spmv_results(matrix: ParCSRMatrix, mapping: RankMapping,
                              x: np.ndarray, *,
                              variant: Variant | str = Variant.PARTIAL,
                              strategy: BalanceStrategy = BalanceStrategy.BYTES,
-                             timeout: float = 120.0) -> np.ndarray:
-    """Run a full distributed SpMV over the simulated runtime and assemble ``A @ x``.
+                             timeout: float = 120.0,
+                             runtime: str = "engine") -> np.ndarray:
+    """Run a full distributed SpMV and assemble ``A @ x``.
 
-    This is the one-call form used by tests and examples: it launches one
-    simulated rank per partition entry, performs the halo exchange with the
-    requested collective variant, and stitches the per-rank results back into a
-    global vector.
+    This is the one-call form used by tests and examples.  With the default
+    ``runtime="engine"`` the product runs world-stepped through
+    :class:`WorldSpMV` (single thread, batched exchange).
+    ``runtime="threads"`` launches one simulated-rank thread per partition
+    entry on the envelope-routed runtime — the pinned reference path, byte-
+    identical to the engine.  ``timeout`` bounds only the threaded run (the
+    engine path never blocks, so it has no deadline to enforce).
     """
-    from repro.simmpi.world import run_spmd  # local import to avoid cycles at import time
-
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (matrix.n_rows,):
         raise ValidationError(f"x must have shape ({matrix.n_rows},), got {x.shape}")
+    if runtime == "engine":
+        return WorldSpMV(matrix, mapping, variant=variant,
+                         strategy=strategy).multiply(x)
+    if runtime != "threads":
+        raise ValidationError(
+            f"runtime must be 'engine' or 'threads', got {runtime!r}"
+        )
+
+    from repro.simmpi.world import run_spmd  # local import to avoid cycles at import time
 
     def program(comm: SimComm) -> List[float]:
         spmv = DistributedSpMV(comm, matrix, mapping, variant=variant, strategy=strategy)

@@ -222,16 +222,26 @@ class RankMapping:
         ranks_b = self._checked_rank_array(ranks_b)
         return self._regions[ranks_a] == self._regions[ranks_b]
 
-    def locality_many(self, ranks_a: np.ndarray,
-                      ranks_b: np.ndarray) -> list[Locality]:
-        """Vectorised :meth:`locality` over parallel rank arrays."""
+    def locality_codes(self, ranks_a: np.ndarray,
+                       ranks_b: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`locality`, as an int64 array of ``Locality`` values.
+
+        The unboxed form for bulk consumers (the traffic profiler's batch
+        counters): codes are :class:`Locality` integer values, so
+        ``Locality(code)`` recovers the enum member.
+        """
         ranks_a = self._checked_rank_array(ranks_a)
         ranks_b = self._checked_rank_array(ranks_b)
-        codes = np.where(
+        return np.where(
             ranks_a == ranks_b, 0,
             np.where(self._nodes[ranks_a] != self._nodes[ranks_b], 3,
                      np.where(self._sockets[ranks_a] != self._sockets[ranks_b],
-                              2, 1)))
+                              2, 1))).astype(np.int64)
+
+    def locality_many(self, ranks_a: np.ndarray,
+                      ranks_b: np.ndarray) -> list[Locality]:
+        """Vectorised :meth:`locality` over parallel rank arrays."""
+        codes = self.locality_codes(ranks_a, ranks_b)
         order = (Locality.SELF, Locality.INTRA_SOCKET,
                  Locality.INTER_SOCKET, Locality.INTER_NODE)
         return [order[code] for code in codes.tolist()]

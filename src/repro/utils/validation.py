@@ -36,6 +36,24 @@ def check_positive_int(name: str, value: Any) -> int:
     return int(value)
 
 
+def check_value_preserving_cast(source: np.dtype, target: np.dtype) -> None:
+    """Reject casts from ``source`` into ``target`` that would corrupt values.
+
+    Within-kind narrowing (float64 -> float32) is C-style assignment and
+    allowed; cross-kind casts must be value-preserving — int64 into a float
+    buffer or complex into a real one would corrupt data silently.  Shared by
+    the per-rank collective executor and the world exchange engine, so both
+    reject exactly the same inputs.
+    """
+    if source != target and source.kind != target.kind \
+            and not np.can_cast(source, target, casting="safe"):
+        raise ValidationError(
+            f"values of dtype {source} cannot be safely cast to the "
+            f"collective's {target}; cast explicitly if truncation "
+            "is intended"
+        )
+
+
 def check_non_negative_int(name: str, value: Any) -> int:
     """Check that ``value`` is an integer greater than or equal to zero."""
     if not isinstance(value, (int, np.integer)) or isinstance(value, bool):

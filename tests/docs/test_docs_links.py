@@ -1,0 +1,55 @@
+"""Docs hygiene: markdown links resolve, and the architecture doc is wired in.
+
+A lightweight stand-in for a full docs build: every relative markdown link in
+``README.md`` and ``docs/`` must point at a file that exists, and the
+README must link the architecture document (the satellite contract of the
+world-stepped-engine PR).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+#: Markdown documents whose links are checked.
+DOCUMENTS = ["README.md", os.path.join("docs", "ARCHITECTURE.md")]
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
+
+
+def _relative_links(path: str) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    links = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        links.append(target.split("#", 1)[0])
+    return links
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def test_document_exists(document):
+    assert os.path.isfile(os.path.join(REPO_ROOT, document)), \
+        f"{document} is missing"
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def test_relative_links_resolve(document):
+    path = os.path.join(REPO_ROOT, document)
+    base = os.path.dirname(path)
+    broken = [target for target in _relative_links(path)
+              if not os.path.exists(os.path.join(base, target))]
+    assert not broken, f"{document} has broken relative links: {broken}"
+
+
+def test_readme_links_architecture_doc():
+    with open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8") as handle:
+        readme = handle.read()
+    assert "docs/ARCHITECTURE.md" in readme, \
+        "README must link the architecture document"

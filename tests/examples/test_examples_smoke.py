@@ -1,0 +1,52 @@
+"""Smoke-run every script in ``examples/`` so the documented quickstarts can't rot.
+
+Each script is executed as a subprocess at a reduced size (where the script
+accepts one) and must exit 0; a script that starts raising — because an API it
+demonstrates changed — fails the suite.  Output is captured and attached to the
+failure message.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "examples")
+
+#: Script name -> argv suffix that keeps the run small.  Scripts insert
+#: ``src/`` onto ``sys.path`` themselves, so no environment setup is needed.
+SCRIPTS = {
+    "quickstart.py": [],
+    "irregular_halo_exchange.py": [],
+    "amg_solve.py": ["32"],          # 32x32 grid = 1024 rows on 64 ranks
+    "scaling_study.py": ["2048"],    # 2048-row strong/weak sweep
+}
+
+
+def test_every_example_is_covered():
+    """A new example script must be added to the smoke matrix."""
+    on_disk = {name for name in os.listdir(EXAMPLES_DIR)
+               if name.endswith(".py")}
+    assert on_disk == set(SCRIPTS), (
+        "examples/ and the smoke-test matrix disagree; update SCRIPTS in "
+        f"{__file__}"
+    )
+
+
+@pytest.mark.parametrize("script,args", sorted(SCRIPTS.items()))
+def test_example_runs_clean(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} exited {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout}\n"
+        f"--- stderr ---\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"

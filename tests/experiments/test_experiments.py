@@ -173,3 +173,60 @@ class TestAblationsAndRunner:
         assert "fig06_graph_creation" in results
         report = render_report(results)
         assert "Figure 6" in report and "Figure 12" in report
+
+    def test_figures_subset_selector(self, smoke_config):
+        results = run_all_experiments(smoke_config,
+                                      figures=["fig06_graph_creation"])
+        assert list(results) == ["fig06_graph_creation"]
+        report = render_report(results)
+        assert "Figure 6" in report and "Figure 12" not in report
+
+    def test_figures_selector_preserves_report_order(self, smoke_context,
+                                                     smoke_config):
+        results = run_all_experiments(
+            smoke_config,
+            figures=["fig07_crossover", "fig06_graph_creation"])
+        assert list(results) == ["fig06_graph_creation", "fig07_crossover"]
+
+    def test_unknown_figure_key_rejected(self, smoke_config):
+        with pytest.raises(Exception, match="unknown figure"):
+            run_all_experiments(smoke_config, figures=["fig99_nope"])
+
+    def test_report_is_exactly_the_joined_sections(self, smoke_config):
+        results = run_all_experiments(smoke_config,
+                                      figures=["fig06_graph_creation",
+                                               "fig13_weak_scaling"])
+        report = render_report(results)
+        expected = "\n\n".join([results["fig06_graph_creation"].to_table(),
+                                results["fig13_weak_scaling"].to_table()])
+        assert report == expected
+
+
+class TestWorldSteppedDrivers:
+    """The drivers' world-stepped execution paths (batched exchange engine)."""
+
+    def test_per_level_executed_series_match_planned(self, smoke_context):
+        planned = run_per_level(smoke_context)
+        executed = run_per_level(smoke_context, execute=True)
+        assert executed.local_messages == planned.local_messages
+        assert executed.global_messages == planned.global_messages
+        assert executed.global_bytes == planned.global_bytes
+
+    def test_measured_level_times_shape(self, smoke_context):
+        times = smoke_context.measured_level_times(iterations=1)
+        assert len(times) == smoke_context.hierarchy.n_levels
+        for per_variant in times:
+            assert set(per_variant) == {Variant.POINT_TO_POINT, Variant.STANDARD,
+                                        Variant.PARTIAL, Variant.FULL}
+            assert all(t > 0.0 for t in per_variant.values())
+
+    def test_crossover_with_measured_iteration(self, smoke_context):
+        result = run_crossover(smoke_context, use_measured_iteration=True)
+        assert all(t > 0.0 for t in result.per_iteration.values())
+        assert len(result.totals[Variant.FULL]) == len(result.iteration_counts)
+
+    def test_strong_scaling_with_measured_iteration(self, smoke_context):
+        result = run_strong_scaling(smoke_context, process_counts=(16, 32),
+                                    use_measured_iteration=True)
+        assert len(result.times["standard_hypre"]) == 2
+        assert all(t > 0.0 for t in result.times["fully_optimized_neighbor"])
