@@ -27,9 +27,17 @@ from repro.amg.hierarchy import (
     redistribute_hierarchy,
 )
 from repro.amg.solver import BoomerAMGSolver, SolveResult
+from repro.amg.vcycle import (
+    DistributedVCycle,
+    WorldVCycle,
+    WorldAMGSolver,
+    coarse_gather_pattern,
+)
 from repro.amg.comm_analysis import (
     level_patterns,
     level_partitions,
+    level_transfer_patterns,
+    TransferPatterns,
     LevelCommProfile,
     hierarchy_comm_profiles,
 )
@@ -53,8 +61,14 @@ __all__ = [
     "redistribute_hierarchy",
     "BoomerAMGSolver",
     "SolveResult",
+    "DistributedVCycle",
+    "WorldVCycle",
+    "WorldAMGSolver",
+    "coarse_gather_pattern",
     "level_patterns",
     "level_partitions",
+    "level_transfer_patterns",
+    "TransferPatterns",
     "LevelCommProfile",
     "hierarchy_comm_profiles",
 ]

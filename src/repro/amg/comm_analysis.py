@@ -20,7 +20,7 @@ from repro.collectives.planner import all_plans
 from repro.pattern.comm_pattern import CommPattern
 from repro.pattern.statistics import PatternStatistics
 from repro.perfmodel.base import CostModel
-from repro.sparse.comm_pkg import pattern_from_parcsr
+from repro.sparse.comm_pkg import pattern_from_parcsr, transfer_pattern
 from repro.sparse.partition import RowPartition
 from repro.topology.mapping import RankMapping
 from repro.utils.errors import ValidationError
@@ -38,6 +38,41 @@ def level_patterns(hierarchy: AMGHierarchy, *, item_bytes: int | None = None,
 def level_partitions(hierarchy: AMGHierarchy) -> List[RowPartition]:
     """The row partition of every level."""
     return [level.matrix.partition for level in hierarchy.levels]
+
+
+@dataclass
+class TransferPatterns:
+    """Grid-transfer communication patterns between one level and the next.
+
+    ``prolong`` is the halo pattern of ``P @ x_coarse`` (coarse vector
+    entries moving to fine-side owners), ``restrict`` that of ``Pᵀ @ r_fine``
+    (fine residual entries moving to coarse-side owners) — the per-level
+    patterns the world-stepped V-cycle registers alongside the ``A``-level
+    halo patterns.
+    """
+
+    level: int
+    prolong: CommPattern
+    restrict: CommPattern
+
+
+def level_transfer_patterns(hierarchy: AMGHierarchy, *,
+                            item_bytes: int | None = None,
+                            dtype=None, item_size: int = 1
+                            ) -> List[TransferPatterns]:
+    """The grid-transfer patterns of every non-coarsest level."""
+    dtype = np.float64 if dtype is None else dtype
+    patterns: List[TransferPatterns] = []
+    for index in range(hierarchy.n_levels - 1):
+        prolong = transfer_pattern(hierarchy.prolongation_matrix(index),
+                                   item_bytes=item_bytes, dtype=dtype,
+                                   item_size=item_size)
+        restrict = transfer_pattern(hierarchy.restriction_matrix(index),
+                                    item_bytes=item_bytes, dtype=dtype,
+                                    item_size=item_size)
+        patterns.append(TransferPatterns(level=index, prolong=prolong,
+                                         restrict=restrict))
+    return patterns
 
 
 @dataclass

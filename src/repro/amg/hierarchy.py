@@ -20,7 +20,7 @@ from repro.amg.coarsen import CPOINT, SplittingResult, pmis_coarsening
 from repro.amg.galerkin import galerkin_product
 from repro.amg.interp import direct_interpolation
 from repro.amg.strength import classical_strength
-from repro.sparse.parcsr import ParCSRMatrix
+from repro.sparse.parcsr import ParCSRMatrix, ParCSRRectMatrix
 from repro.sparse.partition import RowPartition
 from repro.utils.errors import SolverError, ValidationError
 from repro.utils.validation import check_positive_int
@@ -56,6 +56,12 @@ class AMGHierarchy:
     """The full multilevel hierarchy produced by the setup phase."""
 
     levels: List[AMGLevel] = field(default_factory=list)
+    #: Memoized distributed transfer operators, keyed by (level, transposed).
+    #: One rect matrix per level is shared by every V-cycle built over this
+    #: hierarchy, so the per-rank block views (and the restriction's
+    #: transpose) are computed once, like the square operators' block cache.
+    _transfer_cache: dict = field(default_factory=dict, repr=False,
+                                  compare=False)
 
     @property
     def n_levels(self) -> int:
@@ -83,6 +89,38 @@ class AMGHierarchy:
         if fine_rows == 0:
             return 0.0
         return sum(level.n_rows for level in self.levels) / fine_rows
+
+    def prolongation_matrix(self, index: int) -> ParCSRRectMatrix:
+        """Level ``index``'s prolongation as a distributed rectangular operator.
+
+        Rows live on level ``index`` (fine side), columns on level
+        ``index + 1`` (coarse side); the off-diagonal columns are exactly the
+        coarse vector entries a rank must receive before the
+        prolong-correct step of the V-cycle.
+        """
+        key = (index, False)
+        if key not in self._transfer_cache:
+            level = self.levels[index]
+            if level.prolongation is None:
+                raise ValidationError(
+                    f"level {index} has no prolongation (coarsest level)"
+                )
+            self._transfer_cache[key] = ParCSRRectMatrix(
+                level.prolongation, level.matrix.partition,
+                self.levels[index + 1].matrix.partition)
+        return self._transfer_cache[key]
+
+    def restriction_matrix(self, index: int) -> ParCSRRectMatrix:
+        """Level ``index``'s restriction (``Pᵀ``) as a distributed operator.
+
+        The transpose of :meth:`prolongation_matrix`: rows on the coarse
+        side, columns on the fine side, so the off-diagonal columns are the
+        fine residual entries a rank needs for the restrict step.
+        """
+        key = (index, True)
+        if key not in self._transfer_cache:
+            self._transfer_cache[key] = self.prolongation_matrix(index).transpose()
+        return self._transfer_cache[key]
 
     def describe(self) -> str:
         """Multi-line summary of the hierarchy (rows / nnz per level)."""

@@ -1,10 +1,14 @@
-"""The BoomerAMG-style V-cycle solver.
+"""The BoomerAMG-style V-cycle solver (sequential numerical reference).
 
 The solver validates the substrate: the hierarchies whose communication the
 experiments analyse really do solve the rotated anisotropic diffusion systems
 they are built from.  Relaxation and grid transfers are computed on the global
-operators (the distributed execution of the SpMV communication is exercised
-separately by :class:`repro.sparse.spmv.DistributedSpMV`).
+operators; the *distributed* execution of the same V-cycle — every halo
+exchange through the collectives, per-rank on the envelope-routed runtime or
+world-stepped through the batched engine — lives in :mod:`repro.amg.vcycle`
+(:class:`~repro.amg.vcycle.DistributedVCycle`,
+:class:`~repro.amg.vcycle.WorldAMGSolver`), pinned equivalent to this solver
+by the solve-phase test suite.
 """
 
 from __future__ import annotations

@@ -1,0 +1,493 @@
+"""The distributed AMG solve phase: whole V-cycles through the exchange layer.
+
+The seed :class:`~repro.amg.solver.BoomerAMGSolver` validates the hierarchy by
+relaxing and grid-transferring on the assembled global operators; the classes
+here execute the same V-cycle *distributed*, so every SpMV and smoother halo
+exchange of every hierarchy level — the irregular communication the paper
+times inside BoomerAMG's solve phase — actually runs through the
+neighborhood collectives:
+
+* :class:`DistributedVCycle` is one rank's V-cycle on the envelope-routed
+  runtime (one instance per simulated-rank thread, the pinned reference):
+  per level a :class:`~repro.sparse.spmv.DistributedSpMV` for the operator,
+  a :class:`~repro.amg.relax.DistributedJacobi` smoother, and two
+  :class:`~repro.sparse.spmv.DistributedRectSpMV` grid transfers (restrict
+  ``Pᵀ r``, prolong-correct ``x + P e``), each with its own communication
+  pattern derived from the transfer operator's column map.
+* :class:`WorldVCycle` is the world-stepped twin: the same per-level
+  exchanges compiled once and registered with the batched
+  :class:`~repro.simmpi.engine.ExchangeEngine`, so one ``cycle`` call runs a
+  whole V-cycle for *all* ranks with O(phases) numpy calls per level — no
+  per-message envelopes, no threads, byte-identical results and identical
+  data-path profiler totals.
+* :class:`WorldAMGSolver` is the ``BoomerAMGSolver.solve``-equivalent built
+  on top: stationary world-stepped V-cycle iterations with residual norms
+  computed through the fine-level world SpMV, so no assembled-matrix
+  multiply remains on the data path.
+
+The coarsest-level direct solve needs every rank to see the full coarse
+right-hand side.  Instead of an object allgather on the control plane, the
+gather is expressed as one more neighborhood collective
+(:func:`coarse_gather_pattern`: every owning rank sends its coarse entries to
+every other rank) and executed through the same engine/envelope machinery as
+the halo exchanges — batching the last setup-gather-style collective of the
+solve phase through the data path, with identical traffic on both runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.amg.hierarchy import AMGHierarchy, build_hierarchy
+from repro.amg.relax import DistributedJacobi, WorldJacobi
+from repro.amg.solver import SolveResult
+from repro.collectives.aggregation import BalanceStrategy
+from repro.collectives.api import (
+    neighbor_alltoallv_init,
+    neighbor_alltoallv_init_world,
+)
+from repro.collectives.persistent import (
+    PersistentNeighborCollective,
+    WorldNeighborCollective,
+)
+from repro.collectives.plan import Variant
+from repro.pattern.builders import neighbor_lists
+from repro.pattern.comm_pattern import CommPattern
+from repro.simmpi.comm import SimComm
+from repro.simmpi.engine import ExchangeEngine
+from repro.simmpi.profiler import TrafficProfiler
+from repro.simmpi.topo_comm import dist_graph_create_adjacent
+from repro.sparse.partition import RowPartition
+from repro.sparse.spmv import (
+    DistributedRectSpMV,
+    DistributedSpMV,
+    WorldRectSpMV,
+    WorldSpMV,
+    check_mapping_covers,
+)
+from repro.topology.mapping import RankMapping
+from repro.utils.arrays import INDEX_DTYPE
+from repro.utils.errors import SolverError, ValidationError
+
+
+def coarse_gather_pattern(partition: RowPartition, *,
+                          dtype=np.float64, item_size: int = 1) -> CommPattern:
+    """The all-gather of the coarsest level as a neighborhood pattern.
+
+    Every rank owning coarse rows sends them to every *other* rank (item ids
+    are global coarse row indices), so after one exchange round each rank
+    holds the full coarse right-hand side: its own entries plus everything
+    the pattern delivered.  Expressing the gather as a pattern lets the
+    coarse solve ride the same collective machinery — and the same traffic
+    accounting — as the halo exchanges, on both the envelope-routed and the
+    world-stepped runtime.
+    """
+    n_ranks = partition.n_ranks
+    srcs: List[int] = []
+    dests: List[int] = []
+    item_arrays: List[np.ndarray] = []
+    for src in partition.active_ranks().tolist():
+        items = partition.rows_of(src)
+        for dest in range(n_ranks):
+            if dest == src:
+                continue
+            srcs.append(src)
+            dests.append(dest)
+            item_arrays.append(items)
+    return CommPattern.from_edge_lists(
+        n_ranks, np.asarray(srcs, dtype=INDEX_DTYPE),
+        np.asarray(dests, dtype=INDEX_DTYPE), item_arrays,
+        dtype=dtype, item_size=item_size)
+
+
+def _coarse_factorized(matrix: sp.spmatrix):
+    """Factorized direct solver of the coarsest operator (None for 0 rows)."""
+    return spla.factorized(sp.csc_matrix(matrix)) if matrix.shape[0] > 0 else None
+
+
+def _check_cycle_arguments(hierarchy: AMGHierarchy, mapping: RankMapping,
+                           pre_sweeps: int, post_sweeps: int) -> None:
+    if hierarchy.n_levels == 0:
+        raise SolverError("hierarchy has no levels")
+    if pre_sweeps < 0 or post_sweeps < 0:
+        raise ValidationError("sweep counts must be non-negative")
+    check_mapping_covers(mapping, hierarchy.levels[0].matrix.n_ranks)
+
+
+def _check_level_profilers(level_profilers, n_levels: int) -> None:
+    if level_profilers is not None and len(level_profilers) != n_levels:
+        raise ValidationError(
+            f"level_profilers must have one entry per level ({n_levels}), "
+            f"got {len(level_profilers)}"
+        )
+
+
+# -- per-rank V-cycle on the envelope-routed runtime ---------------------------------
+
+
+@dataclass
+class _DistributedLevel:
+    """One rank's collectives for one (non-coarsest) level."""
+
+    spmv: DistributedSpMV
+    smoother: DistributedJacobi
+    restrict: DistributedRectSpMV
+    prolong: DistributedRectSpMV
+
+
+class DistributedVCycle:
+    """One rank's V-cycle over a distributed AMG hierarchy (envelope runtime).
+
+    Construction is collective: every rank of the communicator builds its own
+    instance with the same hierarchy and mapping, in the same order, exactly
+    like the SpMV and smoother it is made of.  ``cycle`` then runs one
+    V-cycle on this rank's rows; the ranks advance in lockstep through the
+    per-level exchanges.
+
+    ``level_profilers`` (optional, one :class:`TrafficProfiler` per level)
+    attaches per-level traffic accounting: each level's collectives are built
+    on a duplicated communicator whose traffic callback records into that
+    level's profiler — the envelope-side mirror of the world V-cycle's
+    per-level engines.
+    """
+
+    def __init__(self, comm: SimComm, hierarchy: AMGHierarchy,
+                 mapping: RankMapping, *,
+                 variant: Variant | str = Variant.PARTIAL,
+                 strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                 pre_sweeps: int = 1, post_sweeps: int = 1,
+                 omega: float = 2.0 / 3.0,
+                 level_profilers: Optional[Sequence[TrafficProfiler]] = None):
+        _check_cycle_arguments(hierarchy, mapping, pre_sweeps, post_sweeps)
+        _check_level_profilers(level_profilers, hierarchy.n_levels)
+        self.hierarchy = hierarchy
+        self.mapping = mapping
+        self.rank = comm.rank
+        self.pre_sweeps = int(pre_sweeps)
+        self.post_sweeps = int(post_sweeps)
+        self.omega = float(omega)
+        n_levels = hierarchy.n_levels
+
+        def level_comm(index: int) -> SimComm:
+            duplicate = comm.dup()
+            if level_profilers is not None:
+                duplicate.set_traffic_callback(
+                    level_profilers[index].record_envelope)
+            return duplicate
+
+        self.levels: List[_DistributedLevel] = []
+        for index in range(n_levels - 1):
+            lcomm = level_comm(index)
+            spmv = DistributedSpMV(lcomm, hierarchy.levels[index].matrix,
+                                   mapping, variant=variant, strategy=strategy)
+            smoother = DistributedJacobi(spmv, omega=self.omega)
+            restrict = DistributedRectSpMV(
+                lcomm, hierarchy.restriction_matrix(index), mapping,
+                variant=variant, strategy=strategy)
+            prolong = DistributedRectSpMV(
+                lcomm, hierarchy.prolongation_matrix(index), mapping,
+                variant=variant, strategy=strategy)
+            self.levels.append(_DistributedLevel(spmv=spmv, smoother=smoother,
+                                                 restrict=restrict,
+                                                 prolong=prolong))
+
+        # Coarsest level: the gather-to-all collective plus a (redundant,
+        # deterministic) local factorization of the assembled coarse operator
+        # — the distributed analogue of hypre's gathered Gaussian elimination.
+        coarsest = hierarchy.levels[-1]
+        self._coarse_partition = coarsest.matrix.partition
+        self._coarse_rows = self._coarse_partition.rows_of(self.rank)
+        self._coarse_solver = _coarse_factorized(coarsest.matrix.matrix)
+        self._coarse_collective: PersistentNeighborCollective | None = None
+        pattern = coarse_gather_pattern(self._coarse_partition)
+        if pattern.n_messages:
+            gather_comm = level_comm(n_levels - 1)
+            sources, destinations = neighbor_lists(pattern, self.rank)
+            graph_comm = dist_graph_create_adjacent(gather_comm, sources,
+                                                    destinations, validate=False)
+            self._coarse_collective = neighbor_alltoallv_init(
+                graph_comm, pattern.send_map(self.rank),
+                pattern.recv_map(self.rank), mapping,
+                variant=variant, strategy=strategy, dtype=np.float64)
+
+    # -- the cycle ------------------------------------------------------------
+
+    def _coarse_solve(self, b_local: np.ndarray) -> np.ndarray:
+        """Gather the coarse RHS through the collective, solve, keep owned rows."""
+        if self._coarse_solver is None:
+            return b_local.copy()
+        n_coarse = self._coarse_partition.n_rows
+        full = np.empty(n_coarse, dtype=np.float64)
+        if self._coarse_collective is not None:
+            halo = self._coarse_collective.exchange(b_local)
+            full[self._coarse_collective.recv_item_ids] = halo
+        full[self._coarse_rows] = b_local
+        if self._coarse_rows.size == 0:
+            # Nothing owned here: participate in the gather, skip the solve.
+            return b_local.copy()
+        solution = np.asarray(self._coarse_solver(full), dtype=np.float64)
+        return solution[self._coarse_rows]
+
+    def _cycle(self, index: int, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+        if index == self.hierarchy.n_levels - 1:
+            if self.hierarchy.levels[index].matrix.n_rows == 0:
+                return x
+            return self._coarse_solve(b)
+        level = self.levels[index]
+        x = level.smoother.smooth(b, x, sweeps=self.pre_sweeps)
+        residual = b - level.spmv.multiply(x)
+        coarse_b = level.restrict.multiply(residual)
+        coarse_x = np.zeros(level.restrict.n_local_rows, dtype=np.float64)
+        coarse_x = self._cycle(index + 1, coarse_b, coarse_x)
+        x = x + level.prolong.multiply(coarse_x)
+        return level.smoother.smooth(b, x, sweeps=self.post_sweeps)
+
+    def cycle(self, b_local: np.ndarray, x_local: np.ndarray) -> np.ndarray:
+        """Apply one V-cycle to this rank's rows of ``A x = b`` (collective)."""
+        b_local = np.asarray(b_local, dtype=np.float64)
+        x_local = np.asarray(x_local, dtype=np.float64)
+        first, last = self.hierarchy.levels[0].matrix.partition.row_range(self.rank)
+        n = last - first
+        if b_local.shape != (n,) or x_local.shape != (n,):
+            raise ValidationError(f"b_local and x_local must have shape ({n},)")
+        return self._cycle(0, b_local, x_local)
+
+
+# -- world-stepped V-cycle through the exchange engine -------------------------------
+
+
+@dataclass
+class _WorldLevel:
+    """All ranks' world collectives for one (non-coarsest) level."""
+
+    spmv: WorldSpMV
+    smoother: WorldJacobi
+    restrict: WorldRectSpMV
+    prolong: WorldRectSpMV
+
+
+class WorldVCycle:
+    """A whole V-cycle for all ranks, stepped through the exchange engine.
+
+    Every level's halo exchanges (operator SpMV inside the smoother and the
+    residual, restrict ``Pᵀ``, prolong ``P``) are compiled once and
+    registered with a world :class:`~repro.simmpi.engine.ExchangeEngine`;
+    ``cycle`` then advances the whole communicator through
+    pre-smooth → residual → restrict → coarse-solve → prolong-correct →
+    post-smooth with O(phases) numpy calls per level and no per-message
+    envelopes anywhere on the data path.  Results are byte-identical to
+    running :class:`DistributedVCycle` on every rank of the envelope-routed
+    runtime, and numerically identical (to rounding) to the seed
+    :meth:`~repro.amg.solver.BoomerAMGSolver.vcycle` on the assembled
+    operators — the solve-phase equivalence suite pins both.
+
+    Pass ``engine`` to register all levels with a shared engine (e.g. from
+    :meth:`~repro.simmpi.world.SimWorld.exchange_engine`), ``profiler`` for a
+    private engine around one profiler, or ``level_profilers`` (one per
+    level) for per-level engines whose traffic totals mirror the per-level
+    profilers of the envelope path.
+    """
+
+    def __init__(self, hierarchy: AMGHierarchy, mapping: RankMapping, *,
+                 variant: Variant | str = Variant.PARTIAL,
+                 strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                 pre_sweeps: int = 1, post_sweeps: int = 1,
+                 omega: float = 2.0 / 3.0,
+                 engine: ExchangeEngine | None = None,
+                 profiler: TrafficProfiler | None = None,
+                 level_profilers: Optional[Sequence[TrafficProfiler]] = None):
+        _check_cycle_arguments(hierarchy, mapping, pre_sweeps, post_sweeps)
+        _check_level_profilers(level_profilers, hierarchy.n_levels)
+        if level_profilers is not None and engine is not None:
+            raise ValidationError(
+                "pass either a shared engine or per-level profilers, not both"
+            )
+        if profiler is not None and (engine is not None
+                                     or level_profilers is not None):
+            raise ValidationError(
+                "pass either a profiler (for a private shared engine) or an "
+                "engine / per-level profilers, not both"
+            )
+        self.hierarchy = hierarchy
+        self.mapping = mapping
+        self.n_ranks = hierarchy.levels[0].matrix.n_ranks
+        self.pre_sweeps = int(pre_sweeps)
+        self.post_sweeps = int(post_sweeps)
+        self.omega = float(omega)
+        n_levels = hierarchy.n_levels
+        if level_profilers is not None:
+            engines = [ExchangeEngine(self.n_ranks, profiler=level_profiler)
+                       for level_profiler in level_profilers]
+        else:
+            shared = engine if engine is not None else \
+                ExchangeEngine(self.n_ranks, profiler=profiler)
+            engines = [shared] * n_levels
+        self.engines = engines
+
+        self.levels: List[_WorldLevel] = []
+        for index in range(n_levels - 1):
+            spmv = WorldSpMV(hierarchy.levels[index].matrix, mapping,
+                             variant=variant, strategy=strategy,
+                             engine=engines[index])
+            smoother = WorldJacobi(spmv, omega=self.omega)
+            restrict = WorldRectSpMV(hierarchy.restriction_matrix(index),
+                                     mapping, variant=variant,
+                                     strategy=strategy, engine=engines[index])
+            prolong = WorldRectSpMV(hierarchy.prolongation_matrix(index),
+                                    mapping, variant=variant,
+                                    strategy=strategy, engine=engines[index])
+            self.levels.append(_WorldLevel(spmv=spmv, smoother=smoother,
+                                           restrict=restrict, prolong=prolong))
+
+        coarsest = hierarchy.levels[-1]
+        self._coarse_partition = coarsest.matrix.partition
+        self._coarse_solver = _coarse_factorized(coarsest.matrix.matrix)
+        self._coarse_collective: WorldNeighborCollective | None = None
+        pattern = coarse_gather_pattern(self._coarse_partition)
+        if pattern.n_messages:
+            self._coarse_collective = neighbor_alltoallv_init_world(
+                pattern, mapping, variant=variant, strategy=strategy,
+                engine=engines[n_levels - 1])
+
+        # Residual norms of an iterative solve need the fine operator even on
+        # a single-level hierarchy, where no smoothing level exists.
+        self.fine_spmv = self.levels[0].spmv if self.levels else \
+            WorldSpMV(hierarchy.levels[0].matrix, mapping, variant=variant,
+                      strategy=strategy, engine=engines[0])
+
+    @property
+    def n_rows(self) -> int:
+        """Global rows of the fine-level operator."""
+        return self.hierarchy.levels[0].matrix.n_rows
+
+    def residual(self, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Fine-level residual ``b - A x`` through the world-stepped SpMV."""
+        return b - self.fine_spmv.multiply(x)
+
+    # -- the cycle ------------------------------------------------------------
+
+    def _coarse_solve(self, b: np.ndarray) -> np.ndarray:
+        """Direct solve of the coarsest system from engine-delivered values.
+
+        The gather collective runs exactly as on the per-rank path (same
+        plan, same wire traffic, accounted by the coarsest level's engine);
+        the solve then consumes the delivered values: the full coarse RHS is
+        reassembled from rank 0's received halo plus its owned slice, which
+        is bitwise the global ``b`` — no assembled-vector shortcut.
+        """
+        if self._coarse_solver is None:
+            return np.zeros(self._coarse_partition.n_rows, dtype=np.float64)
+        full = np.empty(self._coarse_partition.n_rows, dtype=np.float64)
+        if self._coarse_collective is not None:
+            offsets = self._coarse_partition.offsets
+            values = [b[offsets[rank]:offsets[rank + 1]]
+                      [self._coarse_collective.owned_item_ids(rank)
+                       - offsets[rank]]
+                      for rank in range(self.n_ranks)]
+            halos = self._coarse_collective.exchange(values)
+            full[self._coarse_collective.recv_item_ids(0)] = halos[0]
+        full[self._coarse_partition.rows_of(0)] = b[self._coarse_partition.rows_of(0)]
+        return np.asarray(self._coarse_solver(full), dtype=np.float64)
+
+    def _cycle(self, index: int, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+        if index == self.hierarchy.n_levels - 1:
+            if self.hierarchy.levels[index].matrix.n_rows == 0:
+                return x
+            return self._coarse_solve(b)
+        level = self.levels[index]
+        x = level.smoother.smooth(b, x, sweeps=self.pre_sweeps)
+        residual = b - level.spmv.multiply(x)
+        coarse_b = level.restrict.multiply(residual)
+        coarse_x = np.zeros(level.restrict.n_rows, dtype=np.float64)
+        coarse_x = self._cycle(index + 1, coarse_b, coarse_x)
+        x = x + level.prolong.multiply(coarse_x)
+        return level.smoother.smooth(b, x, sweeps=self.post_sweeps)
+
+    def cycle(self, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Apply one V-cycle to ``A x = b`` for the whole communicator."""
+        b = np.asarray(b, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        n = self.n_rows
+        if b.shape != (n,) or x.shape != (n,):
+            raise ValidationError(f"b and x must have shape ({n},)")
+        return self._cycle(0, b, x)
+
+
+class WorldAMGSolver:
+    """BoomerAMG-style V-cycle solver executed entirely world-stepped.
+
+    The drop-in distributed equivalent of
+    :class:`~repro.amg.solver.BoomerAMGSolver`: same setup knobs, same
+    :class:`~repro.amg.solver.SolveResult`, but relaxation, grid transfers,
+    the coarse gather, *and* the convergence-check residuals all run through
+    the batched exchange engine — the hierarchy traffic the experiments
+    analyse is executed, not modeled, on every iteration.
+    """
+
+    def __init__(self, matrix, mapping: RankMapping, *,
+                 strength_theta: float = 0.25,
+                 max_levels: int = 25,
+                 max_coarse_size: int = 16,
+                 pre_sweeps: int = 1,
+                 post_sweeps: int = 1,
+                 omega: float = 2.0 / 3.0,
+                 truncation: float = 0.0,
+                 seed: int = 42,
+                 variant: Variant | str = Variant.PARTIAL,
+                 strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                 hierarchy: Optional[AMGHierarchy] = None,
+                 engine: ExchangeEngine | None = None,
+                 profiler: TrafficProfiler | None = None,
+                 level_profilers: Optional[Sequence[TrafficProfiler]] = None):
+        self.matrix = matrix
+        self.hierarchy = hierarchy or build_hierarchy(
+            matrix, strength_theta=strength_theta, max_levels=max_levels,
+            max_coarse_size=max_coarse_size, truncation=truncation, seed=seed)
+        if self.hierarchy.n_levels == 0:
+            raise SolverError("hierarchy construction produced no levels")
+        self.vcycle_executor = WorldVCycle(
+            self.hierarchy, mapping, variant=variant, strategy=strategy,
+            pre_sweeps=pre_sweeps, post_sweeps=post_sweeps, omega=omega,
+            engine=engine, profiler=profiler, level_profilers=level_profilers)
+
+    def vcycle(self, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Apply one world-stepped V-cycle to ``A x = b`` starting from ``x``."""
+        return self.vcycle_executor.cycle(b, x)
+
+    def solve(self, b: np.ndarray, *, x0: Optional[np.ndarray] = None,
+              tol: float = 1e-8, max_iterations: int = 100) -> SolveResult:
+        """Solve ``A x = b`` with stationary world-stepped V-cycle iterations.
+
+        Mirrors :meth:`BoomerAMGSolver.solve` exactly — same convergence
+        criterion, same :class:`SolveResult` — with every residual computed
+        through the fine-level world SpMV instead of the assembled matrix.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        n = self.matrix.n_rows
+        if b.shape != (n,):
+            raise ValidationError(f"b must have shape ({n},)")
+        x = np.zeros(n, dtype=np.float64) if x0 is None else np.array(x0, dtype=np.float64)
+        if x.shape != (n,):
+            raise ValidationError(f"x0 must have shape ({n},)")
+        residual_norms = [float(np.linalg.norm(
+            self.vcycle_executor.residual(b, x)))]
+        if residual_norms[0] == 0.0:
+            return SolveResult(solution=x, residual_norms=residual_norms,
+                               iterations=0, converged=True)
+        target = tol * residual_norms[0]
+        converged = False
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            x = self.vcycle_executor.cycle(b, x)
+            residual_norms.append(float(np.linalg.norm(
+                self.vcycle_executor.residual(b, x))))
+            if residual_norms[-1] <= target:
+                converged = True
+                break
+        return SolveResult(solution=x, residual_norms=residual_norms,
+                           iterations=iterations, converged=converged)

@@ -10,12 +10,14 @@ render itself as the table/series the corresponding figure plots.  The
 from repro.experiments.config import (
     ExperimentConfig,
     ExperimentContext,
+    measured_cycle_times,
     measured_level_times,
 )
 from repro.experiments.graph_creation import GraphCreationResult, run_graph_creation
 from repro.experiments.crossover import CrossoverResult, run_crossover
 from repro.experiments.per_level import (
     PerLevelResult,
+    executed_cycle_statistics,
     executed_statistics,
     run_per_level,
 )
@@ -31,7 +33,9 @@ from repro.experiments.runner import FIGURE_KEYS, run_all_experiments
 __all__ = [
     "ExperimentConfig",
     "ExperimentContext",
+    "measured_cycle_times",
     "measured_level_times",
+    "executed_cycle_statistics",
     "executed_statistics",
     "FIGURE_KEYS",
     "GraphCreationResult",

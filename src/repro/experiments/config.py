@@ -70,6 +70,40 @@ def measured_level_times(profiles: Sequence[LevelCommProfile], *,
     return times
 
 
+def measured_cycle_times(hierarchy, mapping, *,
+                         variants: Sequence[Variant] = ALL_VARIANTS,
+                         strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                         iterations: int = 3) -> Dict[Variant, float]:
+    """Wall-clock seconds of one whole world-stepped V-cycle, per variant.
+
+    The solve-phase counterpart of :func:`measured_level_times`: instead of
+    timing one exchange round per level, every variant's
+    :class:`~repro.amg.vcycle.WorldVCycle` is built once and a full cycle —
+    smoother sweeps, residual SpMV, grid transfers, coarse gather, all
+    through the batched engine — is timed; the best of ``iterations`` runs is
+    recorded.
+    """
+    from repro.amg.vcycle import WorldVCycle
+
+    if iterations < 1:
+        raise ValidationError("iterations must be >= 1")
+    times: Dict[Variant, float] = {}
+    n = hierarchy.levels[0].matrix.n_rows
+    b = np.ones(n, dtype=np.float64)
+    x = np.zeros(n, dtype=np.float64)
+    for variant in variants:
+        vcycle = WorldVCycle(hierarchy, mapping, variant=variant,
+                             strategy=strategy)
+        vcycle.cycle(b, x)  # warm the arenas
+        best = float("inf")
+        for _ in range(iterations):
+            start = time.perf_counter()
+            vcycle.cycle(b, x)
+            best = min(best, time.perf_counter() - start)
+        times[variant] = best
+    return times
+
+
 @dataclass(frozen=True)
 class ExperimentConfig:
     """Knobs shared by every experiment."""
@@ -192,4 +226,12 @@ class ExperimentContext:
                              iterations: int = 3) -> List[Dict[Variant, float]]:
         """World-stepped measured exchange-round times (see module helper)."""
         return measured_level_times(self.profiles, variants=variants,
+                                    iterations=iterations)
+
+    def measured_cycle_times(self, *, variants: Sequence[Variant] = ALL_VARIANTS,
+                             iterations: int = 3) -> Dict[Variant, float]:
+        """World-stepped measured whole-V-cycle times (see module helper)."""
+        return measured_cycle_times(self.hierarchy, self.mapping,
+                                    variants=variants,
+                                    strategy=self.config.strategy,
                                     iterations=iterations)

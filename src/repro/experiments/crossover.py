@@ -80,7 +80,8 @@ def run_crossover(context: ExperimentContext | None = None, *,
                   config: ExperimentConfig | None = None,
                   mpi_implementation: str = "spectrum",
                   iteration_counts: Sequence[int] | None = None,
-                  use_measured_iteration: bool = False) -> CrossoverResult:
+                  use_measured_iteration: bool = False,
+                  solve_phase: bool = False) -> CrossoverResult:
     """Reproduce Figure 7 for the configured problem and scale.
 
     With ``use_measured_iteration=True`` the per-iteration cost of every
@@ -90,6 +91,14 @@ def run_crossover(context: ExperimentContext | None = None, *,
     the locality-aware network model.  Measured numbers are this machine's
     Python execution cost, not Lassen network time, so the resulting
     crossovers characterise the simulator itself.
+
+    With ``solve_phase=True`` (which supersedes ``use_measured_iteration``)
+    an iteration is one *whole executed V-cycle* — every level's smoother
+    sweeps, residual SpMV, grid transfers, and the coarse gather, stepped
+    through the exchange engine
+    (:meth:`ExperimentContext.measured_cycle_times`) — so the crossover is
+    computed against real solve-phase execution rather than summed exchange
+    rounds.
     """
     if context is None:
         context = ExperimentContext.build(config or ExperimentConfig.from_environment())
@@ -99,12 +108,15 @@ def run_crossover(context: ExperimentContext | None = None, *,
     graph_model = graph_creation_model(mpi_implementation)
 
     init_costs = _initialisation_costs(context, graph_model)
-    level_times = (context.measured_level_times() if use_measured_iteration
-                   else [profile.times for profile in context.profiles])
-    per_iteration = {
-        variant: sum(times[variant] for times in level_times)
-        for variant in ALL_VARIANTS
-    }
+    if solve_phase:
+        per_iteration = dict(context.measured_cycle_times())
+    else:
+        level_times = (context.measured_level_times() if use_measured_iteration
+                       else [profile.times for profile in context.profiles])
+        per_iteration = {
+            variant: sum(times[variant] for times in level_times)
+            for variant in ALL_VARIANTS
+        }
 
     result = CrossoverResult(iteration_counts=iteration_counts,
                              init_costs=init_costs, per_iteration=per_iteration)

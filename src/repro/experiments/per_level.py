@@ -94,9 +94,49 @@ def executed_statistics(plan: CollectivePlan) -> PatternStatistics:
     return stats
 
 
+def executed_cycle_statistics(hierarchy, mapping, *,
+                              variant: Variant | str = Variant.PARTIAL,
+                              strategy=None,
+                              pre_sweeps: int = 1, post_sweeps: int = 1
+                              ) -> List[PatternStatistics]:
+    """Per-level statistics observed by executing one whole world-stepped V-cycle.
+
+    Builds a :class:`~repro.amg.vcycle.WorldVCycle` with one
+    :class:`~repro.simmpi.profiler.TrafficProfiler` per hierarchy level, runs
+    a single cycle (smoother sweeps, residual SpMV, grid transfers, and the
+    coarse gather all through the exchange engine), and folds each level's
+    bulk data-path counters into a :class:`PatternStatistics`.  Unlike
+    :func:`executed_statistics` — one exchange round of the ``A`` pattern —
+    these numbers are the *solve-phase* traffic of the level: every halo
+    exchange the V-cycle actually performs there.
+    """
+    from repro.amg.vcycle import WorldVCycle
+    from repro.collectives.aggregation import BalanceStrategy
+    from repro.simmpi.profiler import TrafficProfiler
+
+    strategy = strategy if strategy is not None else BalanceStrategy.BYTES
+    profilers = [TrafficProfiler(mapping) for _ in range(hierarchy.n_levels)]
+    vcycle = WorldVCycle(hierarchy, mapping, variant=variant, strategy=strategy,
+                         pre_sweeps=pre_sweeps, post_sweeps=post_sweeps,
+                         level_profilers=profilers)
+    n = vcycle.n_rows
+    vcycle.cycle(np.ones(n, dtype=np.float64), np.zeros(n, dtype=np.float64))
+    n_ranks = hierarchy.levels[0].matrix.n_ranks
+    per_level: List[PatternStatistics] = []
+    for profiler in profilers:
+        sources, dests, nbytes = profiler.data_columns()
+        stats = PatternStatistics(n_ranks=n_ranks)
+        if sources.size:
+            stats.add_messages(sources, mapping.same_region_many(sources, dests),
+                               nbytes)
+        per_level.append(stats)
+    return per_level
+
+
 def run_per_level(context: ExperimentContext | None = None, *,
                   config: ExperimentConfig | None = None,
-                  execute: bool = False) -> PerLevelResult:
+                  execute: bool = False,
+                  solve_phase: bool = False) -> PerLevelResult:
     """Reproduce the per-level analysis of Section 4.1 (Figures 8-11).
 
     With ``execute=True`` the message/byte series of Figures 8-10 come from
@@ -105,6 +145,12 @@ def run_per_level(context: ExperimentContext | None = None, *,
     two are identical by construction; the flag exists so the figures can be
     regenerated from observed traffic (and so any future divergence between
     planner and runtime shows up in the figures themselves).
+
+    With ``solve_phase=True`` (which supersedes ``execute``) the series come
+    from :func:`executed_cycle_statistics`: one whole world-stepped V-cycle
+    per variant, so every level's numbers are the traffic its smoother
+    sweeps, residual SpMV, grid transfers, and coarse gather actually moved —
+    the solve phase the paper times, executed rather than planned.
     """
     if context is None:
         context = ExperimentContext.build(config or ExperimentConfig.from_environment())
@@ -113,7 +159,14 @@ def run_per_level(context: ExperimentContext | None = None, *,
     result = PerLevelResult(levels=[p.level for p in profiles],
                             rows_per_level=[p.n_rows for p in profiles])
 
-    if execute:
+    if solve_phase:
+        std, par, ful = (
+            executed_cycle_statistics(context.hierarchy, context.mapping,
+                                      variant=variant,
+                                      strategy=context.config.strategy)
+            for variant in (Variant.STANDARD, Variant.PARTIAL, Variant.FULL)
+        )
+    elif execute:
         std = [executed_statistics(p.plans[Variant.STANDARD]) for p in profiles]
         par = [executed_statistics(p.plans[Variant.PARTIAL]) for p in profiles]
         ful = [executed_statistics(p.plans[Variant.FULL]) for p in profiles]

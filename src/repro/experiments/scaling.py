@@ -91,11 +91,20 @@ def _level_times(profiles, *, measured: bool) -> Sequence[Dict[Variant, float]]:
     return [profile.times for profile in profiles]
 
 
+def _solve_phase_totals(hierarchy, mapping, strategy) -> Dict[str, float]:
+    """Per-protocol cost of one whole executed world-stepped V-cycle."""
+    from repro.experiments.config import measured_cycle_times
+
+    cycle_times = measured_cycle_times(hierarchy, mapping, strategy=strategy)
+    return {label: cycle_times[variant] for label, variant in _PROTOCOLS.items()}
+
+
 def run_strong_scaling(context: ExperimentContext | None = None, *,
                        config: ExperimentConfig | None = None,
                        process_counts: Sequence[int] | None = None,
                        best_per_level: bool = True,
-                       use_measured_iteration: bool = False) -> ScalingResult:
+                       use_measured_iteration: bool = False,
+                       solve_phase: bool = False) -> ScalingResult:
     """Reproduce Figure 12: fixed problem size, growing process count.
 
     With ``use_measured_iteration=True`` every scale's per-level times are
@@ -103,6 +112,11 @@ def run_strong_scaling(context: ExperimentContext | None = None, *,
     the batched engine instead of evaluated with the network model — real
     execution cost of this machine's simulator, tractable even at paper-scale
     rank counts.
+
+    With ``solve_phase=True`` (which supersedes ``use_measured_iteration``)
+    every scale's per-protocol cost is one whole executed world-stepped
+    V-cycle on the redistributed hierarchy — the solve phase itself, not a
+    sum of isolated exchange rounds.
     """
     if context is None:
         context = ExperimentContext.build(config or ExperimentConfig.from_environment())
@@ -114,9 +128,13 @@ def run_strong_scaling(context: ExperimentContext | None = None, *,
         result.times[label] = []
     for n_ranks in process_counts:
         scaled = context.redistributed(n_ranks)
-        totals = _protocol_times(
-            _level_times(scaled.profiles, measured=use_measured_iteration),
-            best_per_level=best_per_level)
+        if solve_phase:
+            totals = _solve_phase_totals(scaled.hierarchy, scaled.mapping,
+                                         config.strategy)
+        else:
+            totals = _protocol_times(
+                _level_times(scaled.profiles, measured=use_measured_iteration),
+                best_per_level=best_per_level)
         for label, total in totals.items():
             result.times[label].append(total)
     return result
@@ -126,10 +144,12 @@ def run_weak_scaling(config: ExperimentConfig | None = None, *,
                      process_counts: Sequence[int] | None = None,
                      rows_per_rank: int | None = None,
                      best_per_level: bool = True,
-                     use_measured_iteration: bool = False) -> ScalingResult:
+                     use_measured_iteration: bool = False,
+                     solve_phase: bool = False) -> ScalingResult:
     """Reproduce Figure 13: fixed rows per process, growing process count.
 
-    ``use_measured_iteration`` behaves as in :func:`run_strong_scaling`.
+    ``use_measured_iteration`` and ``solve_phase`` behave as in
+    :func:`run_strong_scaling`.
     """
     config = config or ExperimentConfig.from_environment()
     process_counts = list(process_counts if process_counts is not None
@@ -145,12 +165,15 @@ def run_weak_scaling(config: ExperimentConfig | None = None, *,
                                     strength_theta=config.strength_theta,
                                     seed=config.seed)
         mapping = paper_mapping(n_ranks, ranks_per_node=config.ranks_per_node)
-        model = lassen_parameters(active_per_node=config.ranks_per_node)
-        profiles = hierarchy_comm_profiles(hierarchy, mapping, model=model,
-                                           strategy=config.strategy)
-        totals = _protocol_times(
-            _level_times(profiles, measured=use_measured_iteration),
-            best_per_level=best_per_level)
+        if solve_phase:
+            totals = _solve_phase_totals(hierarchy, mapping, config.strategy)
+        else:
+            model = lassen_parameters(active_per_node=config.ranks_per_node)
+            profiles = hierarchy_comm_profiles(hierarchy, mapping, model=model,
+                                               strategy=config.strategy)
+            totals = _protocol_times(
+                _level_times(profiles, measured=use_measured_iteration),
+                best_per_level=best_per_level)
         for label, total in totals.items():
             result.times[label].append(total)
     return result

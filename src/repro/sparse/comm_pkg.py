@@ -25,7 +25,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.pattern.comm_pattern import CommPattern
-from repro.sparse.parcsr import ParCSRMatrix
+from repro.sparse.parcsr import ParCSRMatrix, ParCSRRectMatrix
 from repro.utils.arrays import INDEX_DTYPE, freeze_columns, group_rows_to_csr
 from repro.utils.errors import ValidationError
 
@@ -120,20 +120,19 @@ class CommPkg:
         return int(item_offsets[hi] - item_offsets[lo])
 
 
-def build_comm_pkg(matrix: ParCSRMatrix) -> CommPkg:
-    """Construct the halo-exchange package of ``matrix``.
+def _pkg_from_needs(owner_partition, n_ranks: int,
+                    needed_per_rank) -> CommPkg:
+    """Core comm-package build shared by the square and rectangular paths.
 
-    For every rank the off-diagonal column map gives the global vector entries
-    it needs; one concatenated owner lookup plus one lexsort per side yields
-    the packed receive and send columns.
+    ``needed_per_rank`` yields ``(rank, needed global indices)``; owners are
+    resolved against ``owner_partition`` (the row partition for a square SpMV,
+    the column partition for a grid-transfer operator) with one concatenated
+    vectorized lookup, then one lexsort per side packs the CSR columns.
     """
-    partition = matrix.partition
-    n_ranks = partition.n_ranks
     needed_chunks: List[np.ndarray] = []
     rank_ids: List[int] = []
     counts: List[int] = []
-    for rank in partition.iter_ranks():
-        needed = matrix.offd_columns(rank)
+    for rank, needed in needed_per_rank:
         if needed.size == 0:
             continue
         needed_chunks.append(needed)
@@ -147,12 +146,38 @@ def build_comm_pkg(matrix: ParCSRMatrix) -> CommPkg:
     needed_all = np.concatenate(needed_chunks).astype(INDEX_DTYPE, copy=False)
     recv_ranks = np.repeat(np.asarray(rank_ids, dtype=INDEX_DTYPE),
                            np.asarray(counts, dtype=INDEX_DTYPE))
-    owners = partition.owners_of(needed_all)
+    owners = owner_partition.owners_of(needed_all)
     if np.any(owners == recv_ranks):
         raise ValidationError("off-diagonal columns must be owned by other ranks")
     recv_csr = _group_to_csr(n_ranks, recv_ranks, owners, needed_all)
     send_csr = _group_to_csr(n_ranks, owners, recv_ranks, needed_all)
     return CommPkg(n_ranks, recv_csr, send_csr)
+
+
+def build_comm_pkg(matrix: ParCSRMatrix) -> CommPkg:
+    """Construct the halo-exchange package of ``matrix``.
+
+    For every rank the off-diagonal column map gives the global vector entries
+    it needs; one concatenated owner lookup plus one lexsort per side yields
+    the packed receive and send columns.
+    """
+    partition = matrix.partition
+    return _pkg_from_needs(partition, partition.n_ranks,
+                           ((rank, matrix.offd_columns(rank))
+                            for rank in partition.iter_ranks()))
+
+
+def build_transfer_comm_pkg(matrix: ParCSRRectMatrix) -> CommPkg:
+    """Construct the grid-transfer exchange package of a rectangular matrix.
+
+    Identical structure to :func:`build_comm_pkg`, but the needed entries are
+    *input-vector* (column-space) indices and their owners come from the
+    column partition — for a prolongation that is the coarse grid, for a
+    restriction the fine grid.
+    """
+    return _pkg_from_needs(matrix.col_partition, matrix.n_ranks,
+                           ((rank, matrix.offd_columns(rank))
+                            for rank in range(matrix.n_ranks)))
 
 
 def pattern_from_parcsr(matrix: ParCSRMatrix, *, item_bytes: int | None = None,
@@ -165,6 +190,22 @@ def pattern_from_parcsr(matrix: ParCSRMatrix, *, item_bytes: int | None = None,
     send-side CSR columns of the comm package are handed to the pattern as-is.
     """
     pkg = build_comm_pkg(matrix)
+    src_offsets, dests, item_offsets, items = pkg.send_csr
+    return CommPattern.from_csr(matrix.n_ranks, src_offsets, dests,
+                                item_offsets, items, item_bytes=item_bytes,
+                                dtype=dtype, item_size=item_size)
+
+
+def transfer_pattern(matrix: ParCSRRectMatrix, *, item_bytes: int | None = None,
+                     dtype=np.float64, item_size: int = 1) -> CommPattern:
+    """The communication pattern of a grid-transfer product as a :class:`CommPattern`.
+
+    Item ids are global *input-vector* indices (coarse rows for a
+    prolongation's ``P @ x_coarse``, fine rows for a restriction's
+    ``Pᵀ @ r_fine``), so the deduplicating collectives treat grid-transfer
+    halos exactly like SpMV halos one level up or down.
+    """
+    pkg = build_transfer_comm_pkg(matrix)
     src_offsets, dests, item_offsets, items = pkg.send_csr
     return CommPattern.from_csr(matrix.n_ranks, src_offsets, dests,
                                 item_offsets, items, item_bytes=item_bytes,

@@ -150,3 +150,160 @@ class ParCSRMatrix:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ParCSRMatrix(n={self.n_rows}, nnz={self.nnz}, "
                 f"ranks={self.n_ranks})")
+
+
+@dataclass
+class RectLocalBlocks:
+    """One rank's view of a rectangular ParCSR matrix.
+
+    ``diag`` holds the columns the rank owns under the *column* partition
+    (the input-vector entries it already has locally); ``offd`` holds every
+    other referenced column, with ``col_map_offd`` giving their sorted global
+    column indices — exactly the entries the rank must receive before a
+    product.
+    """
+
+    rank: int
+    row_range: tuple[int, int]
+    col_range: tuple[int, int]
+    diag: sp.csr_matrix
+    offd: sp.csr_matrix
+    col_map_offd: np.ndarray
+
+    @property
+    def n_local_rows(self) -> int:
+        """Rows owned by the rank (output-vector entries)."""
+        return self.diag.shape[0]
+
+    @property
+    def n_local_cols(self) -> int:
+        """Columns owned by the rank (input-vector entries held locally)."""
+        return self.diag.shape[1]
+
+    @property
+    def n_offd_cols(self) -> int:
+        """Number of distinct off-process columns referenced by the rank."""
+        return int(self.col_map_offd.size)
+
+
+class ParCSRRectMatrix:
+    """A rectangular distributed matrix: rows and columns partitioned separately.
+
+    AMG grid-transfer operators are the motivating case: a prolongation ``P``
+    maps the coarse grid (column space, owned by the coarse partition) to the
+    fine grid (row space, owned by the fine partition), and its transpose maps
+    the other way.  The diag/offd split is taken against the *column*
+    partition — the off-diagonal columns are the input-vector entries a rank
+    must receive before a product, which is what defines the grid-transfer
+    communication pattern.
+    """
+
+    def __init__(self, matrix: sp.spmatrix, row_partition: RowPartition,
+                 col_partition: RowPartition):
+        matrix = sp.csr_matrix(matrix)
+        if matrix.shape[0] != row_partition.n_rows:
+            raise ValidationError(
+                f"matrix has {matrix.shape[0]} rows but the row partition covers "
+                f"{row_partition.n_rows}"
+            )
+        if matrix.shape[1] != col_partition.n_rows:
+            raise ValidationError(
+                f"matrix has {matrix.shape[1]} columns but the column partition "
+                f"covers {col_partition.n_rows}"
+            )
+        if row_partition.n_ranks != col_partition.n_ranks:
+            raise ValidationError(
+                "row and column partitions must span the same communicator "
+                f"({row_partition.n_ranks} vs {col_partition.n_ranks} ranks)"
+            )
+        self.matrix = matrix
+        self.row_partition = row_partition
+        self.col_partition = col_partition
+        self._block_cache: Dict[int, RectLocalBlocks] = {}
+
+    # -- global properties ---------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Global number of rows (output-vector length)."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        """Global number of columns (input-vector length)."""
+        return self.matrix.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Global number of stored non-zeros."""
+        return int(self.matrix.nnz)
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks in the (shared) partitions."""
+        return self.row_partition.n_ranks
+
+    def transpose(self) -> "ParCSRRectMatrix":
+        """The transposed operator with the partitions swapped."""
+        return ParCSRRectMatrix(self.matrix.T.tocsr(), self.col_partition,
+                                self.row_partition)
+
+    # -- per-rank views ---------------------------------------------------------------
+
+    def local_blocks(self, rank: int) -> RectLocalBlocks:
+        """Diag/offd split of ``rank``'s rows against the column partition (cached)."""
+        if rank in self._block_cache:
+            return self._block_cache[rank]
+        first, last = self.row_partition.row_range(rank)
+        col_first, col_last = self.col_partition.row_range(rank)
+        local = self.matrix[first:last, :].tocsc()
+        diag = local[:, col_first:col_last].tocsr()
+        if col_first > 0 or col_last < self.n_cols:
+            left = local[:, :col_first]
+            right = local[:, col_last:]
+            offd_global = sp.hstack([left, right], format="csc")
+            col_ids = np.concatenate([np.arange(0, col_first),
+                                      np.arange(col_last, self.n_cols)])
+        else:
+            offd_global = sp.csc_matrix((last - first, 0))
+            col_ids = np.empty(0, dtype=np.int64)
+        nnz_per_col = np.diff(offd_global.indptr)
+        used = np.flatnonzero(nnz_per_col > 0)
+        col_map_offd = col_ids[used].astype(np.int64)
+        order = np.argsort(col_map_offd)
+        col_map_offd = col_map_offd[order]
+        offd = offd_global[:, used[order]].tocsr()
+        blocks = RectLocalBlocks(rank=rank, row_range=(first, last),
+                                 col_range=(col_first, col_last), diag=diag,
+                                 offd=offd, col_map_offd=col_map_offd)
+        self._block_cache[rank] = blocks
+        return blocks
+
+    def offd_columns(self, rank: int) -> np.ndarray:
+        """Global input-vector entries ``rank`` needs but does not own.
+
+        Computed straight from the CSR structure, like
+        :meth:`ParCSRMatrix.offd_columns`, because the hierarchy analysis
+        calls this for every rank of every AMG level.
+        """
+        if rank in self._block_cache:
+            return self._block_cache[rank].col_map_offd.copy()
+        first, last = self.row_partition.row_range(rank)
+        col_first, col_last = self.col_partition.row_range(rank)
+        start, stop = self.matrix.indptr[first], self.matrix.indptr[last]
+        cols = self.matrix.indices[start:stop]
+        outside = cols[(cols < col_first) | (cols >= col_last)]
+        return np.unique(outside).astype(np.int64)
+
+    # -- convenience -------------------------------------------------------------------
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Sequential reference product ``A @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValidationError(f"x must have shape ({self.n_cols},), got {x.shape}")
+        return self.matrix @ x
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ParCSRRectMatrix(shape={self.matrix.shape}, nnz={self.nnz}, "
+                f"ranks={self.n_ranks})")

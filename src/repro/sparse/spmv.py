@@ -48,8 +48,13 @@ from repro.simmpi.comm import SimComm
 from repro.simmpi.engine import ExchangeEngine
 from repro.simmpi.profiler import TrafficProfiler
 from repro.simmpi.topo_comm import dist_graph_create_adjacent
-from repro.sparse.comm_pkg import build_comm_pkg, pattern_from_parcsr
-from repro.sparse.parcsr import ParCSRMatrix
+from repro.sparse.comm_pkg import (
+    build_comm_pkg,
+    build_transfer_comm_pkg,
+    pattern_from_parcsr,
+    transfer_pattern,
+)
+from repro.sparse.parcsr import ParCSRMatrix, ParCSRRectMatrix
 from repro.topology.mapping import RankMapping
 from repro.utils.errors import ValidationError
 
@@ -57,6 +62,61 @@ from repro.utils.errors import ValidationError
 def sequential_spmv(matrix: ParCSRMatrix, x: np.ndarray) -> np.ndarray:
     """Reference product ``A @ x`` computed on the global matrix."""
     return matrix.spmv(x)
+
+
+def check_mapping_covers(mapping: RankMapping, n_ranks: int) -> None:
+    """Reject a rank mapping smaller than the matrix partition up front.
+
+    Without this guard the mismatch surfaces only deep inside the planner
+    (an out-of-range region lookup) once an aggregated variant is selected.
+    """
+    if mapping.n_ranks < n_ranks:
+        raise ValidationError(
+            f"mapping covers {mapping.n_ranks} ranks but the matrix is "
+            f"partitioned over {n_ranks}"
+        )
+
+
+def _halo_positions(col_map_offd: np.ndarray, recv_ids: np.ndarray) -> np.ndarray:
+    """Positions of the received halo ids inside a rank's ``col_map_offd``."""
+    sorter = np.argsort(col_map_offd)
+    return sorter[np.searchsorted(col_map_offd, recv_ids, sorter=sorter)]
+
+
+def _init_rank_collective(comm: SimComm, pkg, mapping: RankMapping,
+                          variant: Variant | str, strategy: BalanceStrategy):
+    """One rank's persistent collective from a comm package (collective call).
+
+    The shared setup of the square and rectangular per-rank SpMVs: derive
+    this rank's send/recv maps and neighbor lists from the package, create
+    the graph communicator, and initialise the persistent collective.
+    """
+    send_items = pkg.send_map(comm.rank)
+    recv_items = pkg.recv_map(comm.rank)
+    sources = np.array(sorted(recv_items), dtype=np.int64)
+    destinations = np.array(sorted(send_items), dtype=np.int64)
+    graph_comm = dist_graph_create_adjacent(comm, sources, destinations,
+                                            validate=False)
+    return neighbor_alltoallv_init(graph_comm, send_items, recv_items, mapping,
+                                   variant=variant, strategy=strategy,
+                                   dtype=np.float64)
+
+
+def _world_positions(collective, blocks_list, input_base):
+    """Per-rank (owned, halo) index arrays of a world-stepped SpMV.
+
+    ``input_base(blocks)`` gives the first global index of the rank's slice
+    of the *input* vector (row range for a square SpMV, column range for a
+    grid transfer).
+    """
+    owned_positions: List[np.ndarray] = []
+    halo_positions: List[np.ndarray] = []
+    for rank, blocks in enumerate(blocks_list):
+        owned_positions.append(collective.owned_item_ids(rank)
+                               - input_base(blocks))
+        halo_positions.append(_halo_positions(blocks.col_map_offd,
+                                              collective.recv_item_ids(rank)))
+    return owned_positions, halo_positions
 
 
 class DistributedSpMV:
@@ -76,6 +136,7 @@ class DistributedSpMV:
                 f"communicator has {comm.size} ranks but the matrix is partitioned "
                 f"over {matrix.n_ranks}"
             )
+        check_mapping_covers(mapping, matrix.n_ranks)
         self.comm = comm
         self.matrix = matrix
         self.mapping = mapping
@@ -83,29 +144,18 @@ class DistributedSpMV:
         self.blocks = matrix.local_blocks(self.rank)
         self.row_range = self.blocks.row_range
 
-        pkg = build_comm_pkg(matrix)
         # The collective is built from the comm-pkg index arrays directly —
         # no per-item list conversion at the boundary.
-        send_items = pkg.send_map(self.rank)
-        recv_items = pkg.recv_map(self.rank)
-        sources = np.array(sorted(recv_items), dtype=np.int64)
-        destinations = np.array(sorted(send_items), dtype=np.int64)
-        graph_comm = dist_graph_create_adjacent(comm, sources, destinations,
-                                                validate=False)
-        self.collective = neighbor_alltoallv_init(
-            graph_comm, send_items, recv_items, mapping,
-            variant=variant, strategy=strategy, dtype=np.float64)
+        self.collective = _init_rank_collective(comm, build_comm_pkg(matrix),
+                                                mapping, variant, strategy)
         # The halo exchange is array-native: precompute the index arrays that
         # connect the local vector to the dense exchange input and the dense
         # halo output to the offd product input — the per-iteration path is
         # then three fancy indexes and no per-item Python work.
         first, _ = self.row_range
         self._owned_positions = self.collective.owned_item_ids - first
-        col_map = self.blocks.col_map_offd
-        recv_ids = self.collective.recv_item_ids
-        sorter = np.argsort(col_map)
-        self._halo_positions = sorter[np.searchsorted(col_map, recv_ids,
-                                                      sorter=sorter)]
+        self._halo_positions = _halo_positions(self.blocks.col_map_offd,
+                                               self.collective.recv_item_ids)
 
     @property
     def n_local_rows(self) -> int:
@@ -151,6 +201,7 @@ class WorldSpMV:
                  strategy: BalanceStrategy = BalanceStrategy.BYTES,
                  engine: ExchangeEngine | None = None,
                  profiler: TrafficProfiler | None = None):
+        check_mapping_covers(mapping, matrix.n_ranks)
         self.matrix = matrix
         self.mapping = mapping
         self.n_ranks = matrix.n_ranks
@@ -162,17 +213,8 @@ class WorldSpMV:
         # Per-rank index arrays, exactly as in DistributedSpMV: local-vector
         # positions of the owned exchange input, and offd-column positions of
         # the dense halo output.
-        self._owned_positions: List[np.ndarray] = []
-        self._halo_positions: List[np.ndarray] = []
-        for rank, blocks in enumerate(self.blocks):
-            first, _ = blocks.row_range
-            self._owned_positions.append(
-                self.collective.owned_item_ids(rank) - first)
-            col_map = blocks.col_map_offd
-            recv_ids = self.collective.recv_item_ids(rank)
-            sorter = np.argsort(col_map)
-            self._halo_positions.append(
-                sorter[np.searchsorted(col_map, recv_ids, sorter=sorter)])
+        self._owned_positions, self._halo_positions = _world_positions(
+            self.collective, self.blocks, lambda blocks: blocks.row_range[0])
 
     @property
     def n_rows(self) -> int:
@@ -201,6 +243,173 @@ class WorldSpMV:
         return result
 
 
+class DistributedRectSpMV:
+    """One rank's persistent distributed grid-transfer product.
+
+    The rectangular counterpart of :class:`DistributedSpMV`: the input vector
+    is distributed over the *column* partition, the output over the *row*
+    partition, and the halo exchange moves the off-process input entries
+    (coarse values for a prolongation, fine residual values for a
+    restriction) through the configured neighborhood-collective variant.
+    Construction is collective, one instance per rank.
+    """
+
+    def __init__(self, comm: SimComm, matrix: ParCSRRectMatrix,
+                 mapping: RankMapping, *,
+                 variant: Variant | str = Variant.PARTIAL,
+                 strategy: BalanceStrategy = BalanceStrategy.BYTES):
+        if comm.size < matrix.n_ranks:
+            raise ValidationError(
+                f"communicator has {comm.size} ranks but the matrix is partitioned "
+                f"over {matrix.n_ranks}"
+            )
+        check_mapping_covers(mapping, matrix.n_ranks)
+        self.comm = comm
+        self.matrix = matrix
+        self.mapping = mapping
+        self.rank = comm.rank
+        self.blocks = matrix.local_blocks(self.rank)
+        self.row_range = self.blocks.row_range
+        self.col_range = self.blocks.col_range
+
+        self.collective = _init_rank_collective(
+            comm, build_transfer_comm_pkg(matrix), mapping, variant, strategy)
+        col_first, _ = self.col_range
+        self._owned_positions = self.collective.owned_item_ids - col_first
+        self._halo_positions = _halo_positions(self.blocks.col_map_offd,
+                                               self.collective.recv_item_ids)
+
+    @property
+    def n_local_rows(self) -> int:
+        """Output-vector entries owned by this rank."""
+        return self.blocks.n_local_rows
+
+    @property
+    def n_local_cols(self) -> int:
+        """Input-vector entries owned by this rank."""
+        return self.blocks.n_local_cols
+
+    def multiply(self, x_local: np.ndarray) -> np.ndarray:
+        """Compute the local rows of ``A @ x`` from the owned input entries."""
+        x_local = np.asarray(x_local, dtype=np.float64)
+        if x_local.shape != (self.n_local_cols,):
+            raise ValidationError(
+                f"x_local must have shape ({self.n_local_cols},), got {x_local.shape}"
+            )
+        halo = self.collective.exchange(x_local[self._owned_positions])
+
+        result = self.blocks.diag @ x_local
+        if self.blocks.n_offd_cols:
+            x_offd = np.zeros(self.blocks.n_offd_cols, dtype=np.float64)
+            x_offd[self._halo_positions] = halo
+            result = result + self.blocks.offd @ x_offd
+        return result
+
+
+class WorldRectSpMV:
+    """World-stepped distributed grid-transfer product (all ranks in lockstep).
+
+    The rectangular counterpart of :class:`WorldSpMV`: ``multiply`` takes the
+    *global* input vector (column space) and returns the *global* output
+    vector (row space), running every rank's halo exchange through one
+    batched :class:`~repro.simmpi.engine.ExchangeEngine` round and then the
+    per-rank ``diag``/``offd`` products.  Byte-identical to running
+    :class:`DistributedRectSpMV` on every rank of the envelope-routed
+    runtime — the solve-phase equivalence tests pin it.
+    """
+
+    def __init__(self, matrix: ParCSRRectMatrix, mapping: RankMapping, *,
+                 variant: Variant | str = Variant.PARTIAL,
+                 strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                 engine: ExchangeEngine | None = None,
+                 profiler: TrafficProfiler | None = None):
+        check_mapping_covers(mapping, matrix.n_ranks)
+        self.matrix = matrix
+        self.mapping = mapping
+        self.n_ranks = matrix.n_ranks
+        pattern = transfer_pattern(matrix)
+        self.collective = neighbor_alltoallv_init_world(
+            pattern, mapping, variant=variant, strategy=strategy,
+            engine=engine, profiler=profiler)
+        self.blocks = [matrix.local_blocks(rank) for rank in range(self.n_ranks)]
+        self._owned_positions, self._halo_positions = _world_positions(
+            self.collective, self.blocks, lambda blocks: blocks.col_range[0])
+
+    @property
+    def n_rows(self) -> int:
+        """Global output-vector length."""
+        return self.matrix.n_rows
+
+    @property
+    def n_cols(self) -> int:
+        """Global input-vector length."""
+        return self.matrix.n_cols
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``A @ x`` for the global input vector (one call, all ranks)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise ValidationError(
+                f"x must have shape ({self.n_cols},), got {x.shape}"
+            )
+        values = [x[blocks.col_range[0]:blocks.col_range[1]][positions]
+                  for blocks, positions in zip(self.blocks, self._owned_positions)]
+        halos = self.collective.exchange(values)
+        result = np.empty(self.n_rows, dtype=np.float64)
+        for rank, blocks in enumerate(self.blocks):
+            first, last = blocks.row_range
+            col_first, col_last = blocks.col_range
+            local = blocks.diag @ x[col_first:col_last]
+            if blocks.n_offd_cols:
+                x_offd = np.zeros(blocks.n_offd_cols, dtype=np.float64)
+                x_offd[self._halo_positions[rank]] = halos[rank]
+                local = local + blocks.offd @ x_offd
+            result[first:last] = local
+        return result
+
+
+def distributed_transfer_results(matrix: ParCSRRectMatrix, mapping: RankMapping,
+                                 x: np.ndarray, *,
+                                 variant: Variant | str = Variant.PARTIAL,
+                                 strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                                 timeout: float = 120.0,
+                                 runtime: str = "engine") -> np.ndarray:
+    """Run a full distributed grid-transfer product and assemble ``A @ x``.
+
+    The rectangular sibling of :func:`distributed_spmv_results`, with the same
+    ``runtime`` switch: ``"engine"`` executes world-stepped through
+    :class:`WorldRectSpMV`, ``"threads"`` runs one
+    :class:`DistributedRectSpMV` per simulated-rank thread (the pinned
+    envelope-routed reference, byte-identical to the engine).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (matrix.n_cols,):
+        raise ValidationError(f"x must have shape ({matrix.n_cols},), got {x.shape}")
+    check_mapping_covers(mapping, matrix.n_ranks)
+    if runtime == "engine":
+        return WorldRectSpMV(matrix, mapping, variant=variant,
+                             strategy=strategy).multiply(x)
+    if runtime != "threads":
+        raise ValidationError(
+            f"runtime must be 'engine' or 'threads', got {runtime!r}"
+        )
+
+    from repro.simmpi.world import run_spmd  # local import to avoid cycles at import time
+
+    def program(comm: SimComm) -> List[float]:
+        spmv = DistributedRectSpMV(comm, matrix, mapping, variant=variant,
+                                   strategy=strategy)
+        col_first, col_last = spmv.col_range
+        return spmv.multiply(x[col_first:col_last]).tolist()
+
+    per_rank = run_spmd(matrix.n_ranks, program, timeout=timeout)
+    result = np.empty(matrix.n_rows, dtype=np.float64)
+    for rank, values in enumerate(per_rank):
+        first, last = matrix.row_partition.row_range(rank)
+        result[first:last] = values
+    return result
+
+
 def distributed_spmv_results(matrix: ParCSRMatrix, mapping: RankMapping,
                              x: np.ndarray, *,
                              variant: Variant | str = Variant.PARTIAL,
@@ -220,6 +429,7 @@ def distributed_spmv_results(matrix: ParCSRMatrix, mapping: RankMapping,
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (matrix.n_rows,):
         raise ValidationError(f"x must have shape ({matrix.n_rows},), got {x.shape}")
+    check_mapping_covers(mapping, matrix.n_ranks)
     if runtime == "engine":
         return WorldSpMV(matrix, mapping, variant=variant,
                          strategy=strategy).multiply(x)

@@ -230,3 +230,51 @@ class TestWorldSteppedDrivers:
                                     use_measured_iteration=True)
         assert len(result.times["standard_hypre"]) == 2
         assert all(t > 0.0 for t in result.times["fully_optimized_neighbor"])
+
+
+class TestSolvePhaseDrivers:
+    """The drivers' solve-phase mode: whole executed V-cycles, not rounds."""
+
+    def test_per_level_solve_phase_series_exceed_single_rounds(self,
+                                                               smoke_context):
+        """A V-cycle exchanges each level's pattern several times (smoother
+        sweeps + residual) plus the grid transfers, so the executed
+        solve-phase traffic dominates the planned single-round traffic on
+        every level with communication."""
+        planned = run_per_level(smoke_context)
+        solved = run_per_level(smoke_context, solve_phase=True)
+        assert solved.levels == planned.levels
+        for key in ("standard_global",):
+            for single, cycle in zip(planned.global_messages[key],
+                                     solved.global_messages[key]):
+                assert cycle >= single
+        assert sum(solved.global_bytes["fully_optimized"]) > \
+            sum(planned.global_bytes["fully_optimized"])
+
+    def test_executed_cycle_statistics_per_level(self, smoke_context):
+        from repro.experiments.per_level import executed_cycle_statistics
+
+        stats = executed_cycle_statistics(smoke_context.hierarchy,
+                                          smoke_context.mapping,
+                                          variant=Variant.FULL)
+        assert len(stats) == smoke_context.hierarchy.n_levels
+        assert stats[0].max_global_messages > 0
+
+    def test_measured_cycle_times_shape(self, smoke_context):
+        times = smoke_context.measured_cycle_times(iterations=1)
+        assert set(times) == {Variant.POINT_TO_POINT, Variant.STANDARD,
+                              Variant.PARTIAL, Variant.FULL}
+        assert all(t > 0.0 for t in times.values())
+
+    def test_crossover_solve_phase(self, smoke_context):
+        result = run_crossover(smoke_context, solve_phase=True)
+        assert all(t > 0.0 for t in result.per_iteration.values())
+        assert len(result.totals[Variant.FULL]) == len(result.iteration_counts)
+
+    def test_scaling_solve_phase(self, smoke_context, smoke_config):
+        strong = run_strong_scaling(smoke_context, process_counts=(16,),
+                                    solve_phase=True)
+        assert all(t > 0.0 for t in strong.times["standard_hypre"])
+        weak = run_weak_scaling(smoke_config, process_counts=(16,),
+                                solve_phase=True)
+        assert all(t > 0.0 for t in weak.times["fully_optimized_neighbor"])
