@@ -9,7 +9,9 @@ size (524 288 rows on 2048 simulated ranks); expect several minutes of setup.
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 import sys
 
 import pytest
@@ -46,3 +48,44 @@ def emit(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
+
+
+def _git_revision() -> str | None:
+    """The repo's HEAD commit, or None outside a usable git checkout."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=30,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = result.stdout.strip()
+    return rev if result.returncode == 0 and rev else None
+
+
+def emit_bench(name: str, *, speedup: float, baseline_s: float,
+               optimized_s: float, n_ranks: int, **extra) -> None:
+    """Persist one perf gate's measurement as ``BENCH_<name>.json``.
+
+    The machine-readable twin of the human-readable speedup prints: every
+    wall-clock gate records what it compared (best-of-N seconds for the
+    baseline and the optimized path), the measured speedup, the simulated
+    rank count, and the git revision — so CI can archive per-commit perf
+    trajectories instead of scraping test output.  ``extra`` lands verbatim
+    in the payload for gate-specific fields (worker counts, message counts).
+    """
+    payload = {
+        "bench": name,
+        "speedup": round(float(speedup), 3),
+        "baseline_s": float(baseline_s),
+        "optimized_s": float(optimized_s),
+        "n_ranks": int(n_ranks),
+        "git_rev": _git_revision(),
+        **extra,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -115,7 +115,9 @@ class WorldJacobi:
     local residual updates, on a single thread.  A sweep is numerically
     identical to :func:`weighted_jacobi_iteration` on the assembled global
     system and byte-identical to running :class:`DistributedJacobi` on every
-    rank of the envelope-routed runtime.
+    rank of the envelope-routed runtime.  The execution backend is whatever
+    the wrapped SpMV was built with: construct the :class:`WorldSpMV` with
+    ``runtime="procs"`` to smooth through the shared-memory worker pool.
     """
 
     def __init__(self, spmv: "WorldSpMV", *, omega: float = 2.0 / 3.0):

@@ -48,7 +48,8 @@ from repro.amg.relax import DistributedJacobi, WorldJacobi
 from repro.amg.solver import SolveResult
 from repro.collectives.aggregation import BalanceStrategy
 from repro.collectives.api import (
-    neighbor_alltoallv_init,
+    CollectiveRequest,
+    neighbor_alltoallv_init_many,
     neighbor_alltoallv_init_world,
 )
 from repro.collectives.persistent import (
@@ -56,12 +57,11 @@ from repro.collectives.persistent import (
     WorldNeighborCollective,
 )
 from repro.collectives.plan import Variant
-from repro.pattern.builders import neighbor_lists
 from repro.pattern.comm_pattern import CommPattern
 from repro.simmpi.comm import SimComm
 from repro.simmpi.engine import ExchangeEngine
 from repro.simmpi.profiler import TrafficProfiler
-from repro.simmpi.topo_comm import dist_graph_create_adjacent
+from repro.sparse.comm_pkg import build_comm_pkg, build_transfer_comm_pkg
 from repro.sparse.partition import RowPartition
 from repro.sparse.spmv import (
     DistributedRectSpMV,
@@ -180,21 +180,28 @@ class DistributedVCycle:
                     level_profilers[index].record_envelope)
             return duplicate
 
-        self.levels: List[_DistributedLevel] = []
+        # Every level's collectives — operator SpMV, restriction, prolongation,
+        # plus the coarsest level's gather-to-all — initialise through ONE
+        # batched setup gather (``neighbor_alltoallv_init_many``) instead of
+        # one allgather round per collective: the collectives that come back
+        # are byte-identical, the setup synchronisation count drops from
+        # O(levels) to one.  Each collective still executes on its own
+        # duplicate of its level's communicator, so per-level traffic
+        # callbacks see exactly the envelopes they always did.
+        requests: List[CollectiveRequest] = []
+        level_comms: List[SimComm] = []
         for index in range(n_levels - 1):
             lcomm = level_comm(index)
-            spmv = DistributedSpMV(lcomm, hierarchy.levels[index].matrix,
-                                   mapping, variant=variant, strategy=strategy)
-            smoother = DistributedJacobi(spmv, omega=self.omega)
-            restrict = DistributedRectSpMV(
-                lcomm, hierarchy.restriction_matrix(index), mapping,
-                variant=variant, strategy=strategy)
-            prolong = DistributedRectSpMV(
-                lcomm, hierarchy.prolongation_matrix(index), mapping,
-                variant=variant, strategy=strategy)
-            self.levels.append(_DistributedLevel(spmv=spmv, smoother=smoother,
-                                                 restrict=restrict,
-                                                 prolong=prolong))
+            level_comms.append(lcomm)
+            for pkg in (build_comm_pkg(hierarchy.levels[index].matrix),
+                        build_transfer_comm_pkg(
+                            hierarchy.restriction_matrix(index)),
+                        build_transfer_comm_pkg(
+                            hierarchy.prolongation_matrix(index))):
+                requests.append(CollectiveRequest(
+                    send_items=pkg.send_map(self.rank),
+                    recv_items=pkg.recv_map(self.rank),
+                    comm=lcomm.dup()))
 
         # Coarsest level: the gather-to-all collective plus a (redundant,
         # deterministic) local factorization of the assembled coarse operator
@@ -207,13 +214,35 @@ class DistributedVCycle:
         pattern = coarse_gather_pattern(self._coarse_partition)
         if pattern.n_messages:
             gather_comm = level_comm(n_levels - 1)
-            sources, destinations = neighbor_lists(pattern, self.rank)
-            graph_comm = dist_graph_create_adjacent(gather_comm, sources,
-                                                    destinations, validate=False)
-            self._coarse_collective = neighbor_alltoallv_init(
-                graph_comm, pattern.send_map(self.rank),
-                pattern.recv_map(self.rank), mapping,
-                variant=variant, strategy=strategy, dtype=np.float64)
+            requests.append(CollectiveRequest(
+                send_items=pattern.send_map(self.rank),
+                recv_items=pattern.recv_map(self.rank),
+                comm=gather_comm.dup()))
+
+        collectives = neighbor_alltoallv_init_many(comm, requests, mapping,
+                                                   variant=variant,
+                                                   strategy=strategy)
+        if pattern.n_messages:
+            self._coarse_collective = collectives[-1]
+
+        self.levels: List[_DistributedLevel] = []
+        for index in range(n_levels - 1):
+            lcomm = level_comms[index]
+            spmv_coll, restrict_coll, prolong_coll = collectives[3 * index:
+                                                                 3 * index + 3]
+            spmv = DistributedSpMV(lcomm, hierarchy.levels[index].matrix,
+                                   mapping, variant=variant, strategy=strategy,
+                                   collective=spmv_coll)
+            smoother = DistributedJacobi(spmv, omega=self.omega)
+            restrict = DistributedRectSpMV(
+                lcomm, hierarchy.restriction_matrix(index), mapping,
+                variant=variant, strategy=strategy, collective=restrict_coll)
+            prolong = DistributedRectSpMV(
+                lcomm, hierarchy.prolongation_matrix(index), mapping,
+                variant=variant, strategy=strategy, collective=prolong_coll)
+            self.levels.append(_DistributedLevel(spmv=spmv, smoother=smoother,
+                                                 restrict=restrict,
+                                                 prolong=prolong))
 
     # -- the cycle ------------------------------------------------------------
 
@@ -290,7 +319,11 @@ class WorldVCycle:
     :meth:`~repro.simmpi.world.SimWorld.exchange_engine`), ``profiler`` for a
     private engine around one profiler, or ``level_profilers`` (one per
     level) for per-level engines whose traffic totals mirror the per-level
-    profilers of the envelope path.
+    profilers of the envelope path.  ``runtime`` / ``n_workers`` select and
+    size the backend of every engine the cycle creates itself (``"engine"``
+    fused single-process, ``"procs"`` shared-memory worker pool); ``close``
+    — or context-manager exit — releases those engines' workers and shared
+    segments deterministically (a caller-supplied engine stays open).
     """
 
     def __init__(self, hierarchy: AMGHierarchy, mapping: RankMapping, *,
@@ -300,7 +333,9 @@ class WorldVCycle:
                  omega: float = 2.0 / 3.0,
                  engine: ExchangeEngine | None = None,
                  profiler: TrafficProfiler | None = None,
-                 level_profilers: Optional[Sequence[TrafficProfiler]] = None):
+                 level_profilers: Optional[Sequence[TrafficProfiler]] = None,
+                 runtime: str | None = None,
+                 n_workers: int | None = None):
         _check_cycle_arguments(hierarchy, mapping, pre_sweeps, post_sweeps)
         _check_level_profilers(level_profilers, hierarchy.n_levels)
         if level_profilers is not None and engine is not None:
@@ -313,6 +348,11 @@ class WorldVCycle:
                 "pass either a profiler (for a private shared engine) or an "
                 "engine / per-level profilers, not both"
             )
+        if engine is not None and (runtime is not None or n_workers is not None):
+            raise ValidationError(
+                "a shared engine already fixed its runtime; pass runtime/"
+                "n_workers only when the cycle creates its own engines"
+            )
         self.hierarchy = hierarchy
         self.mapping = mapping
         self.n_ranks = hierarchy.levels[0].matrix.n_ranks
@@ -321,12 +361,16 @@ class WorldVCycle:
         self.omega = float(omega)
         n_levels = hierarchy.n_levels
         if level_profilers is not None:
-            engines = [ExchangeEngine(self.n_ranks, profiler=level_profiler)
+            engines = [ExchangeEngine(self.n_ranks, profiler=level_profiler,
+                                      runtime=runtime, n_workers=n_workers)
                        for level_profiler in level_profilers]
+            self._owned_engines = list(engines)
         else:
             shared = engine if engine is not None else \
-                ExchangeEngine(self.n_ranks, profiler=profiler)
+                ExchangeEngine(self.n_ranks, profiler=profiler,
+                               runtime=runtime, n_workers=n_workers)
             engines = [shared] * n_levels
+            self._owned_engines = [] if engine is not None else [shared]
         self.engines = engines
 
         self.levels: List[_WorldLevel] = []
@@ -364,6 +408,17 @@ class WorldVCycle:
     def n_rows(self) -> int:
         """Global rows of the fine-level operator."""
         return self.hierarchy.levels[0].matrix.n_rows
+
+    def close(self) -> None:
+        """Release every engine this cycle created (workers, shared segments)."""
+        for owned in self._owned_engines:
+            owned.close()
+
+    def __enter__(self) -> "WorldVCycle":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def residual(self, b: np.ndarray, x: np.ndarray) -> np.ndarray:
         """Fine-level residual ``b - A x`` through the world-stepped SpMV."""
@@ -443,7 +498,9 @@ class WorldAMGSolver:
                  hierarchy: Optional[AMGHierarchy] = None,
                  engine: ExchangeEngine | None = None,
                  profiler: TrafficProfiler | None = None,
-                 level_profilers: Optional[Sequence[TrafficProfiler]] = None):
+                 level_profilers: Optional[Sequence[TrafficProfiler]] = None,
+                 runtime: str | None = None,
+                 n_workers: int | None = None):
         self.matrix = matrix
         self.hierarchy = hierarchy or build_hierarchy(
             matrix, strength_theta=strength_theta, max_levels=max_levels,
@@ -453,7 +510,18 @@ class WorldAMGSolver:
         self.vcycle_executor = WorldVCycle(
             self.hierarchy, mapping, variant=variant, strategy=strategy,
             pre_sweeps=pre_sweeps, post_sweeps=post_sweeps, omega=omega,
-            engine=engine, profiler=profiler, level_profilers=level_profilers)
+            engine=engine, profiler=profiler, level_profilers=level_profilers,
+            runtime=runtime, n_workers=n_workers)
+
+    def close(self) -> None:
+        """Release the underlying V-cycle's engines (workers, shared segments)."""
+        self.vcycle_executor.close()
+
+    def __enter__(self) -> "WorldAMGSolver":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def vcycle(self, b: np.ndarray, x: np.ndarray) -> np.ndarray:
         """Apply one world-stepped V-cycle to ``A x = b`` starting from ``x``."""

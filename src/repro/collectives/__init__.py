@@ -53,12 +53,22 @@ from repro.collectives.exchange import (
     compile_exchange,
     compile_world_exchange,
 )
+from repro.collectives.kernels import (
+    HAVE_NUMBA,
+    KERNELS_ENV,
+    KernelBackend,
+    active_backend,
+    available_backends,
+    select_backend,
+)
 from repro.collectives.persistent import (
     PersistentNeighborCollective,
     WorldNeighborCollective,
 )
 from repro.collectives.api import (
+    CollectiveRequest,
     neighbor_alltoallv_init,
+    neighbor_alltoallv_init_many,
     neighbor_alltoallv_init_world,
     neighbor_alltoallv,
     pack_alltoallv_buffers,
@@ -96,9 +106,17 @@ __all__ = [
     "WorldPhaseProgram",
     "compile_exchange",
     "compile_world_exchange",
+    "HAVE_NUMBA",
+    "KERNELS_ENV",
+    "KernelBackend",
+    "active_backend",
+    "available_backends",
+    "select_backend",
     "PersistentNeighborCollective",
     "WorldNeighborCollective",
+    "CollectiveRequest",
     "neighbor_alltoallv_init",
+    "neighbor_alltoallv_init_many",
     "neighbor_alltoallv_init_world",
     "neighbor_alltoallv",
     "pack_alltoallv_buffers",

@@ -48,6 +48,7 @@ array([50.])
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Mapping, Sequence, Tuple, Union
 
 import numpy as np
@@ -60,6 +61,7 @@ from repro.collectives.persistent import (
 from repro.collectives.plan import Variant
 from repro.collectives.planner import make_plan
 from repro.pattern.comm_pattern import CommPattern
+from repro.simmpi.comm import SimComm
 from repro.simmpi.engine import ExchangeEngine
 from repro.simmpi.profiler import TrafficProfiler
 from repro.simmpi.topo_comm import DistGraphComm
@@ -69,6 +71,7 @@ from repro.utils.arrays import (
     as_index_array,
     counts_to_displs,
     freeze_columns,
+    gather_ranges,
 )
 from repro.utils.errors import CommunicationError, ValidationError
 
@@ -92,6 +95,30 @@ def _pack_send_map(send_items: Mapping[int, Sequence[int]]) -> np.ndarray:
         if n_edges else header
 
 
+def _pattern_from_packets(n_ranks: int, flat: np.ndarray, sizes: np.ndarray,
+                          *, dtype: np.dtype, item_size: int,
+                          item_bytes: int | None) -> CommPattern:
+    """Assemble the global pattern from gathered per-rank wire packets.
+
+    ``flat`` concatenates one :func:`_pack_send_map` packet per rank
+    (``sizes[r]`` long).  The parse is fully vectorized: edge counts are one
+    fancy index of the packet heads, and the destination/count/item sections
+    are three :func:`gather_ranges` passes — O(total) numpy work with no
+    O(ranks) Python loop.
+    """
+    packet_starts = counts_to_displs(sizes)[:-1]
+    edges_per_src = np.ascontiguousarray(flat[packet_starts])
+    columns = (counts_to_displs(edges_per_src),
+               gather_ranges(flat, packet_starts + 1, edges_per_src),
+               counts_to_displs(gather_ranges(flat, packet_starts + 1 + edges_per_src,
+                                              edges_per_src)),
+               gather_ranges(flat, packet_starts + 1 + 2 * edges_per_src,
+                             sizes - 1 - 2 * edges_per_src))
+    freeze_columns(*columns)
+    return CommPattern.from_csr(n_ranks, *columns, item_bytes=item_bytes,
+                                dtype=dtype, item_size=item_size)
+
+
 def _gather_pattern(graph_comm: DistGraphComm,
                     send_items: Mapping[int, Sequence[int]],
                     *, dtype: np.dtype, item_size: int,
@@ -104,26 +131,25 @@ def _gather_pattern(graph_comm: DistGraphComm,
     are spliced straight into the pattern's CSR columns.
     """
     flat, sizes = graph_comm.comm.allgatherv_array(_pack_send_map(send_items))
-    n_ranks = graph_comm.size
-    packet_offsets = counts_to_displs(sizes)
-    edges_per_src = np.empty(n_ranks, dtype=INDEX_DTYPE)
-    dest_chunks: list[np.ndarray] = []
-    count_chunks: list[np.ndarray] = []
-    item_chunks: list[np.ndarray] = []
-    for rank in range(n_ranks):
-        start = int(packet_offsets[rank])
-        n_edges = int(flat[start])
-        edges_per_src[rank] = n_edges
-        dest_chunks.append(flat[start + 1:start + 1 + n_edges])
-        count_chunks.append(flat[start + 1 + n_edges:start + 1 + 2 * n_edges])
-        item_chunks.append(flat[start + 1 + 2 * n_edges:int(packet_offsets[rank + 1])])
-    columns = (counts_to_displs(edges_per_src),
-               np.concatenate(dest_chunks),
-               counts_to_displs(np.concatenate(count_chunks)),
-               np.concatenate(item_chunks))
-    freeze_columns(*columns)
-    return CommPattern.from_csr(n_ranks, *columns, item_bytes=item_bytes,
-                                dtype=dtype, item_size=item_size)
+    return _pattern_from_packets(graph_comm.size, flat, sizes, dtype=dtype,
+                                 item_size=item_size, item_bytes=item_bytes)
+
+
+def _check_recv_side(rank: int, recv_items: Mapping[int, Sequence[int]],
+                     pattern: CommPattern) -> None:
+    """Cross-check a rank's receive side against the globally assembled pattern.
+
+    The items a rank expects must be exactly the items its sources declared
+    (duplicate-insensitive set comparison, vectorized per source).
+    """
+    for src, items in recv_items.items():
+        declared = np.unique(pattern.send_items(int(src), rank))
+        wanted = np.unique(as_index_array(items))
+        if not np.array_equal(wanted, declared):
+            raise CommunicationError(
+                f"rank {rank} expects items {wanted[:5].tolist()}... from rank "
+                f"{src} but that rank declared {declared[:5].tolist()}..."
+            )
 
 
 def neighbor_alltoallv_init(graph_comm: DistGraphComm,
@@ -182,20 +208,89 @@ def neighbor_alltoallv_init(graph_comm: DistGraphComm,
             )
     pattern = _gather_pattern(graph_comm, send_items, dtype=dtype,
                               item_size=item_size, item_bytes=item_bytes)
-    # Cross-check the receive side against the globally assembled pattern: the
-    # items a rank expects must be exactly the items its sources declared
-    # (duplicate-insensitive set comparison, vectorized per source).
-    for src, items in recv_items.items():
-        declared = np.unique(pattern.send_items(int(src), graph_comm.rank))
-        wanted = np.unique(as_index_array(items))
-        if not np.array_equal(wanted, declared):
-            raise CommunicationError(
-                f"rank {graph_comm.rank} expects items {wanted[:5].tolist()}... from rank "
-                f"{src} but that rank declared {declared[:5].tolist()}..."
-            )
+    _check_recv_side(graph_comm.rank, recv_items, pattern)
     plan = make_plan(pattern, mapping, variant, strategy=strategy)
     return PersistentNeighborCollective(graph_comm.comm, plan,
                                         dtype=dtype, item_size=item_size)
+
+
+@dataclass(frozen=True)
+class CollectiveRequest:
+    """One collective's arguments inside a batched :func:`neighbor_alltoallv_init_many`.
+
+    ``send_items`` / ``recv_items`` are this rank's maps, exactly as passed to
+    :func:`neighbor_alltoallv_init`.  ``comm`` optionally names the
+    communicator the returned collective executes on (e.g. a per-level
+    duplicate carrying its own traffic callback); when ``None`` the batched
+    init duplicates the gather communicator.
+    """
+
+    send_items: Mapping[int, Sequence[int]]
+    recv_items: Mapping[int, Sequence[int]]
+    dtype: np.dtype | type | str = np.float64
+    item_size: int = 1
+    item_bytes: int | None = None
+    comm: SimComm | None = None
+
+
+def neighbor_alltoallv_init_many(comm: SimComm,
+                                 requests: Sequence[CollectiveRequest],
+                                 mapping: RankMapping,
+                                 *,
+                                 variant: Variant | str = Variant.PARTIAL,
+                                 strategy: BalanceStrategy = BalanceStrategy.BYTES
+                                 ) -> list[PersistentNeighborCollective]:
+    """Initialise many persistent collectives with ONE setup gather (collective call).
+
+    Every rank calls this with the same number of requests in the same order
+    (like any collective).  Instead of one ``allgatherv_array`` round per
+    collective — the O(collectives) synchronisation a distributed V-cycle
+    setup pays when each level's SpMV and grid transfers initialise
+    separately — all requests' packed send maps travel in a single gather:
+    per rank the wire packet is ``[len_0 .. len_{N-1}, packet_0 ..
+    packet_{N-1}]``, and the decode back into per-request per-rank packets is
+    two vectorized :func:`gather_ranges` passes.  Each request then builds
+    its pattern, plan, and :class:`PersistentNeighborCollective` exactly as
+    the one-at-a-time init does — the resulting collectives are
+    byte-identical to individually initialised ones.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    n_requests = len(requests)
+    packets = [_pack_send_map(request.send_items) for request in requests]
+    lengths = np.array([packet.size for packet in packets], dtype=INDEX_DTYPE)
+    flat, sizes = comm.allgatherv_array(np.concatenate([lengths] + packets))
+    n_ranks = comm.size
+    rank_starts = counts_to_displs(sizes)[:-1]
+    if np.any(sizes < n_requests):
+        raise CommunicationError(
+            f"batched init expected {n_requests} packed requests from every rank"
+        )
+    # Per-(rank, request) packet lengths, then start offsets inside ``flat``:
+    # each rank's slice leads with its N packet lengths, packets follow.
+    length_table = gather_ranges(
+        flat, rank_starts,
+        np.full(n_ranks, n_requests, dtype=INDEX_DTYPE)).reshape(n_ranks,
+                                                                 n_requests)
+    packet_ends = np.cumsum(length_table, axis=1)
+    packet_starts = (rank_starts[:, None] + n_requests
+                     + packet_ends - length_table)
+    collectives: list[PersistentNeighborCollective] = []
+    for index, request in enumerate(requests):
+        dtype = np.dtype(request.dtype)
+        pattern = _pattern_from_packets(
+            n_ranks,
+            gather_ranges(flat, packet_starts[:, index], length_table[:, index]),
+            np.ascontiguousarray(length_table[:, index]),
+            dtype=dtype, item_size=request.item_size,
+            item_bytes=request.item_bytes)
+        _check_recv_side(comm.rank, request.recv_items, pattern)
+        plan = make_plan(pattern, mapping, Variant(variant), strategy=strategy)
+        run_comm = request.comm if request.comm is not None else comm.dup()
+        collectives.append(PersistentNeighborCollective(
+            run_comm, plan, dtype=dtype, item_size=request.item_size))
+    return collectives
 
 
 def neighbor_alltoallv_init_world(pattern: CommPattern,
@@ -206,7 +301,9 @@ def neighbor_alltoallv_init_world(pattern: CommPattern,
                                   dtype: np.dtype | type | str | None = None,
                                   item_size: int | None = None,
                                   engine: ExchangeEngine | None = None,
-                                  profiler: TrafficProfiler | None = None
+                                  profiler: TrafficProfiler | None = None,
+                                  runtime: str | None = None,
+                                  n_workers: int | None = None
                                   ) -> WorldNeighborCollective:
     """Initialise a world-stepped persistent neighborhood all-to-all-v.
 
@@ -220,11 +317,15 @@ def neighbor_alltoallv_init_world(pattern: CommPattern,
 
     ``dtype`` / ``item_size`` default to the pattern's element type.  Pass an
     ``engine`` to share one engine (and its profiler) across collectives, or a
-    ``profiler`` to let the collective create a private engine around it.
+    ``profiler`` to let the collective create a private engine around it;
+    ``runtime`` / ``n_workers`` select the private engine's backend
+    (``"engine"`` fused single-process, ``"procs"`` shared-memory worker
+    pool).
     """
     plan = make_plan(pattern, mapping, Variant(variant), strategy=strategy)
     return WorldNeighborCollective(plan, dtype=dtype, item_size=item_size,
-                                   engine=engine, profiler=profiler)
+                                   engine=engine, profiler=profiler,
+                                   runtime=runtime, n_workers=n_workers)
 
 
 def neighbor_alltoallv(graph_comm: DistGraphComm,

@@ -373,6 +373,15 @@ class WorldPhaseProgram:
     the phase in wire order; the engine hands them to the profiler as one bulk
     record per iteration, preserving the per-envelope byte/message accounting
     without creating an envelope per message.
+
+    Both ``gather`` and ``scatter`` concatenate the per-rank index arrays in
+    rank order; ``gather_rank_offsets`` / ``scatter_rank_offsets`` (each
+    ``n_ranks + 1`` entries) delimit rank ``r``'s segment.  Because a rank's
+    gather and scatter indices only ever address its own row block, any
+    contiguous range of ranks owns a contiguous, disjoint slice of each array
+    — the property the shared-memory procs runtime uses to carve the phase
+    into per-worker slabs (the wire is laid out in gather order, so a worker's
+    wire segment shares the gather offsets).
     """
 
     phase: Phase
@@ -383,6 +392,8 @@ class WorldPhaseProgram:
     msg_sources: np.ndarray
     msg_dests: np.ndarray
     msg_nbytes: np.ndarray
+    gather_rank_offsets: np.ndarray
+    scatter_rank_offsets: np.ndarray
 
 
 @dataclass
@@ -523,6 +534,12 @@ def compile_world_exchange(plan: CollectivePlan,
             msg_sources=np.asarray(sources, dtype=INDEX_DTYPE),
             msg_dests=np.asarray(dests, dtype=INDEX_DTYPE),
             msg_nbytes=np.asarray(counts, dtype=INDEX_DTYPE) * spec.item_bytes,
+            gather_rank_offsets=counts_to_displs(np.fromiter(
+                (c.phases[index].gather.size for c in compiled),
+                dtype=INDEX_DTYPE, count=n_ranks)),
+            scatter_rank_offsets=counts_to_displs(np.fromiter(
+                (c.phases[index].scatter.size for c in compiled),
+                dtype=INDEX_DTYPE, count=n_ranks)),
         )
 
     return WorldExchange(

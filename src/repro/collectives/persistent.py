@@ -356,18 +356,33 @@ class WorldNeighborCollective:
     ``exchange`` takes one dense array per rank (each in that rank's
     ``owned_item_ids`` order, or one flat concatenation in rank order) and
     returns one dense array per rank in ``recv_item_ids`` order.
+
+    ``runtime`` / ``n_workers`` select and size the engine backend
+    (``"engine"`` fused single-process, ``"procs"`` shared-memory worker
+    pool) when the collective creates its own private engine; they cannot be
+    combined with a shared ``engine``, which already fixed its runtime.
+    ``close`` (or using the collective as a context manager) releases a
+    private engine's workers and shared segments deterministically — a
+    shared engine is left to its owner.
     """
 
     def __init__(self, plan: CollectivePlan, *,
                  dtype: np.dtype | type | str | None = None,
                  item_size: int | None = None,
                  engine: ExchangeEngine | None = None,
-                 profiler: TrafficProfiler | None = None):
+                 profiler: TrafficProfiler | None = None,
+                 runtime: str | None = None,
+                 n_workers: int | None = None):
         if engine is not None and profiler is not None \
                 and engine.profiler is not profiler:
             raise ValidationError(
                 "pass either an engine (with its own profiler) or a profiler, "
                 "not both"
+            )
+        if engine is not None and (runtime is not None or n_workers is not None):
+            raise ValidationError(
+                "a shared engine already fixed its runtime; pass runtime/"
+                "n_workers only when the collective creates its own engine"
             )
         self.plan = plan
         self.variant = plan.variant
@@ -377,9 +392,24 @@ class WorldNeighborCollective:
             else plan.pattern.item_size,
         )
         self.world: WorldExchange = compile_world_exchange(plan, self.spec)
+        self._owns_engine = engine is None
         self.engine = engine if engine is not None else \
-            ExchangeEngine(self.world.n_ranks, profiler=profiler)
+            ExchangeEngine(self.world.n_ranks, profiler=profiler,
+                           runtime=runtime, n_workers=n_workers)
         self._handle = self.engine.register(self.world)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the private engine's resources (no-op on a shared engine)."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "WorldNeighborCollective":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # -- index metadata (per rank) --------------------------------------------
 

@@ -37,7 +37,9 @@ ALL_VARIANTS = (Variant.POINT_TO_POINT, Variant.STANDARD,
 
 def measured_level_times(profiles: Sequence[LevelCommProfile], *,
                          variants: Sequence[Variant] = ALL_VARIANTS,
-                         iterations: int = 3
+                         iterations: int = 3,
+                         runtime: str | None = None,
+                         n_workers: int | None = None
                          ) -> List[Dict[Variant, float]]:
     """Wall-clock seconds of one world-stepped exchange round, per level and variant.
 
@@ -48,7 +50,8 @@ def measured_level_times(profiles: Sequence[LevelCommProfile], *,
     rounds is recorded.  This is what "switching the experiment drivers onto
     the world-stepped API" means operationally — the drivers can ask for real
     execution cost at figure scale, which the envelope-routed runtime made
-    impractical beyond a few dozen ranks.
+    impractical beyond a few dozen ranks.  ``runtime="procs"`` measures the
+    same exchanges through the shared-memory worker pool.
     """
     if iterations < 1:
         raise ValidationError("iterations must be >= 1")
@@ -56,16 +59,18 @@ def measured_level_times(profiles: Sequence[LevelCommProfile], *,
     for profile in profiles:
         per_variant: Dict[Variant, float] = {}
         for variant in variants:
-            collective = WorldNeighborCollective(profile.plans[variant])
-            n_owned = int(collective.world.owned_offsets[-1])
-            values = np.zeros(n_owned, dtype=collective.dtype)
-            collective.exchange(values)  # warm the arenas
-            best = float("inf")
-            for _ in range(iterations):
-                start = time.perf_counter()
-                collective.exchange(values)
-                best = min(best, time.perf_counter() - start)
-            per_variant[variant] = best
+            with WorldNeighborCollective(profile.plans[variant],
+                                         runtime=runtime,
+                                         n_workers=n_workers) as collective:
+                n_owned = int(collective.world.owned_offsets[-1])
+                values = np.zeros(n_owned, dtype=collective.dtype)
+                collective.exchange(values)  # warm the arenas
+                best = float("inf")
+                for _ in range(iterations):
+                    start = time.perf_counter()
+                    collective.exchange(values)
+                    best = min(best, time.perf_counter() - start)
+                per_variant[variant] = best
         times.append(per_variant)
     return times
 
@@ -73,7 +78,9 @@ def measured_level_times(profiles: Sequence[LevelCommProfile], *,
 def measured_cycle_times(hierarchy, mapping, *,
                          variants: Sequence[Variant] = ALL_VARIANTS,
                          strategy: BalanceStrategy = BalanceStrategy.BYTES,
-                         iterations: int = 3) -> Dict[Variant, float]:
+                         iterations: int = 3,
+                         runtime: str | None = None,
+                         n_workers: int | None = None) -> Dict[Variant, float]:
     """Wall-clock seconds of one whole world-stepped V-cycle, per variant.
 
     The solve-phase counterpart of :func:`measured_level_times`: instead of
@@ -92,15 +99,16 @@ def measured_cycle_times(hierarchy, mapping, *,
     b = np.ones(n, dtype=np.float64)
     x = np.zeros(n, dtype=np.float64)
     for variant in variants:
-        vcycle = WorldVCycle(hierarchy, mapping, variant=variant,
-                             strategy=strategy)
-        vcycle.cycle(b, x)  # warm the arenas
-        best = float("inf")
-        for _ in range(iterations):
-            start = time.perf_counter()
-            vcycle.cycle(b, x)
-            best = min(best, time.perf_counter() - start)
-        times[variant] = best
+        with WorldVCycle(hierarchy, mapping, variant=variant,
+                         strategy=strategy, runtime=runtime,
+                         n_workers=n_workers) as vcycle:
+            vcycle.cycle(b, x)  # warm the arenas
+            best = float("inf")
+            for _ in range(iterations):
+                start = time.perf_counter()
+                vcycle.cycle(b, x)
+                best = min(best, time.perf_counter() - start)
+            times[variant] = best
     return times
 
 
@@ -223,15 +231,22 @@ class ExperimentContext:
                                  model=self.model, setup_model=self.setup_model)
 
     def measured_level_times(self, *, variants: Sequence[Variant] = ALL_VARIANTS,
-                             iterations: int = 3) -> List[Dict[Variant, float]]:
+                             iterations: int = 3,
+                             runtime: str | None = None,
+                             n_workers: int | None = None
+                             ) -> List[Dict[Variant, float]]:
         """World-stepped measured exchange-round times (see module helper)."""
         return measured_level_times(self.profiles, variants=variants,
-                                    iterations=iterations)
+                                    iterations=iterations, runtime=runtime,
+                                    n_workers=n_workers)
 
     def measured_cycle_times(self, *, variants: Sequence[Variant] = ALL_VARIANTS,
-                             iterations: int = 3) -> Dict[Variant, float]:
+                             iterations: int = 3,
+                             runtime: str | None = None,
+                             n_workers: int | None = None) -> Dict[Variant, float]:
         """World-stepped measured whole-V-cycle times (see module helper)."""
         return measured_cycle_times(self.hierarchy, self.mapping,
                                     variants=variants,
                                     strategy=self.config.strategy,
-                                    iterations=iterations)
+                                    iterations=iterations, runtime=runtime,
+                                    n_workers=n_workers)

@@ -81,7 +81,8 @@ def run_crossover(context: ExperimentContext | None = None, *,
                   mpi_implementation: str = "spectrum",
                   iteration_counts: Sequence[int] | None = None,
                   use_measured_iteration: bool = False,
-                  solve_phase: bool = False) -> CrossoverResult:
+                  solve_phase: bool = False,
+                  runtime: str | None = None) -> CrossoverResult:
     """Reproduce Figure 7 for the configured problem and scale.
 
     With ``use_measured_iteration=True`` the per-iteration cost of every
@@ -99,6 +100,9 @@ def run_crossover(context: ExperimentContext | None = None, *,
     (:meth:`ExperimentContext.measured_cycle_times`) — so the crossover is
     computed against real solve-phase execution rather than summed exchange
     rounds.
+
+    ``runtime`` selects the measuring backend for either flag (``"engine"``
+    serial fused kernels or ``"procs"`` shared-memory worker pool).
     """
     if context is None:
         context = ExperimentContext.build(config or ExperimentConfig.from_environment())
@@ -109,9 +113,10 @@ def run_crossover(context: ExperimentContext | None = None, *,
 
     init_costs = _initialisation_costs(context, graph_model)
     if solve_phase:
-        per_iteration = dict(context.measured_cycle_times())
+        per_iteration = dict(context.measured_cycle_times(runtime=runtime))
     else:
-        level_times = (context.measured_level_times() if use_measured_iteration
+        level_times = (context.measured_level_times(runtime=runtime)
+                       if use_measured_iteration
                        else [profile.times for profile in context.profiles])
         per_iteration = {
             variant: sum(times[variant] for times in level_times)

@@ -34,13 +34,24 @@ from repro.simmpi.request import (
     wait_all,
 )
 from repro.simmpi.comm import SimComm
-from repro.simmpi.engine import ExchangeEngine
+from repro.simmpi.engine import (
+    ENGINE_RUNTIMES,
+    RUNTIME_ENV,
+    ExchangeEngine,
+    default_runtime,
+)
+from repro.simmpi.procs import ProcsPool, default_worker_count
 from repro.simmpi.world import SimWorld, run_spmd
 from repro.simmpi.topo_comm import DistGraphComm, dist_graph_create_adjacent
 from repro.simmpi.profiler import TrafficBatch, TrafficProfiler, TrafficRecord
 
 __all__ = [
+    "ENGINE_RUNTIMES",
+    "RUNTIME_ENV",
     "ExchangeEngine",
+    "ProcsPool",
+    "default_runtime",
+    "default_worker_count",
     "TrafficBatch",
     "MessageFabric",
     "Request",

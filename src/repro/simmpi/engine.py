@@ -7,28 +7,50 @@ O(messages) Python work.  The :class:`ExchangeEngine` executes the same
 exchange as a *world program*
 (:class:`~repro.collectives.exchange.WorldExchange`): every rank's work array
 becomes a block of one world work array, and a whole phase for the whole
-communicator is
+communicator is one kernel call.
 
-* one fancy-index gather (``wire = work[gather]``, all ranks' send arenas),
-* one bulk profiler record (byte/message counters for every message), and
-* one permuted fancy-index scatter (``work[scatter] = wire[perm]``, all
-  ranks' receive arenas),
+Two engine runtimes execute a registered program:
 
-so an exchange round is O(phases) numpy calls regardless of rank count.  The
-engine produces byte-identical results and identical profiler data-path
-totals to the envelope-routed path; the per-envelope mailbox remains in place
-for control-plane and object traffic (setup gathers, barriers).
+* ``runtime="engine"`` (default) — single-process, using the *fused*
+  gather–permute–scatter kernels of :mod:`repro.collectives.kernels`: the
+  send step only accounts traffic, and the receive step performs the whole
+  phase as ``work[scatter] = work[gather[wire_perm]]`` — one indexed copy
+  instead of the three fancy-index passes of the unfused form, byte-identical
+  because every work row holds its ``(origin, item)`` key's one
+  per-iteration value.  The kernel backend (numba parallel loops or pure
+  numpy) is chosen at import time and overridable via
+  ``REPRO_KERNELS=numba|numpy``.
+* ``runtime="procs"`` — a persistent shared-memory worker pool
+  (:mod:`repro.simmpi.procs`): work array, index arrays, and wire arenas live
+  in ``multiprocessing.shared_memory``; each forked worker owns a contiguous
+  slab of world rows and executes slab-local gathers plus cross-slab wire
+  deliveries with a barrier between steps.
+
+Both runtimes produce byte-identical results and identical profiler
+data-path totals to the envelope-routed path; the per-envelope mailbox
+remains in place for control-plane and object traffic (setup gathers,
+barriers).  ``REPRO_RUNTIME=procs`` in the environment flips the default for
+every engine in the process — how CI runs the whole tier-1 suite through the
+worker pool.
+
+Engines own external resources only under ``runtime="procs"`` (workers and
+shared segments); :meth:`ExchangeEngine.close` — or using the engine as a
+context manager — releases them deterministically on any runtime, with a
+``weakref.finalize`` backstop for engines that are simply dropped.
 
 The engine deliberately knows nothing about plans or patterns: it executes
 whatever registered program it is handed, which keeps :mod:`repro.simmpi`
 free of dependencies on :mod:`repro.collectives` (compilation lives there, in
-:func:`~repro.collectives.exchange.compile_world_exchange`).
+:func:`~repro.collectives.exchange.compile_world_exchange`; the kernel import
+happens lazily, inside the engine's methods, for the same reason).
 """
 
 from __future__ import annotations
 
+import os
+import weakref
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,19 +60,44 @@ from repro.utils.validation import check_value_preserving_cast
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
     from repro.collectives.exchange import WorldExchange, WorldPhaseProgram
+    from repro.simmpi.procs import ProcsPool, SharedProgram
 
 #: Per-iteration input: one dense array per rank, or one flat concatenation of
 #: all ranks' owned values in rank order (the zero-copy fast path).
 WorldValues = Union[Sequence[np.ndarray], np.ndarray]
 
+#: Environment variable that flips the default runtime for every engine (and
+#: for the ``runtime=`` keywords of the user surface) in the process.
+RUNTIME_ENV = "REPRO_RUNTIME"
+
+#: Runtimes the engine itself executes.  ``"threads"`` is a *user-surface*
+#: runtime (one simulated-rank thread per rank on the envelope-routed
+#: mailbox) and never reaches the engine.
+ENGINE_RUNTIMES = ("engine", "procs")
+
+
+def default_runtime(allowed: Sequence[str] = ("engine", "threads", "procs"),
+                    ) -> str:
+    """The runtime a ``runtime=None`` caller gets: ``REPRO_RUNTIME`` when it
+    names an allowed runtime, ``"engine"`` otherwise."""
+    value = os.environ.get(RUNTIME_ENV, "").strip().lower()
+    return value if value in allowed else "engine"
+
 
 @dataclass
 class _RegisteredProgram:
-    """Engine-side state of one registered world exchange."""
+    """Engine-side state of one registered world exchange.
+
+    ``fused_sources`` maps each phase to ``gather[wire_perm]`` — the work
+    rows the fused receive step copies from, precomputed at registration.
+    ``shared`` is the program's shared-memory image under ``runtime="procs"``
+    (``work`` then aliases its work segment).
+    """
 
     world: "WorldExchange"
     work: np.ndarray
-    wires: Dict[object, np.ndarray]
+    fused_sources: Dict[object, np.ndarray]
+    shared: Optional["SharedProgram"] = None
 
 
 class ExchangeEngine:
@@ -62,14 +109,90 @@ class ExchangeEngine:
     phase of every iteration is accounted through
     :meth:`TrafficProfiler.record_batch` with exactly the messages the
     envelope-routed path would have sent.
+
+    ``runtime`` selects the execution backend (``"engine"`` fused
+    single-process, ``"procs"`` shared-memory worker pool; ``None`` resolves
+    through ``REPRO_RUNTIME``); ``n_workers`` sizes the procs pool (default:
+    one per available core, capped by ``n_ranks``); ``kernels`` pins a
+    specific kernel backend name or :class:`KernelBackend` for the fused
+    path (default: the import-time selection).
     """
 
-    def __init__(self, n_ranks: int, *, profiler: TrafficProfiler | None = None):
+    def __init__(self, n_ranks: int, *, profiler: TrafficProfiler | None = None,
+                 runtime: str | None = None, n_workers: int | None = None,
+                 kernels=None):
         if n_ranks <= 0:
             raise CommunicationError("an exchange engine needs at least one rank")
+        if runtime is None:
+            runtime = default_runtime(ENGINE_RUNTIMES)
+        if runtime not in ENGINE_RUNTIMES:
+            raise ValidationError(
+                f"engine runtime must be one of {ENGINE_RUNTIMES}, "
+                f"got {runtime!r}"
+            )
         self.n_ranks = int(n_ranks)
         self.profiler = profiler
+        self.runtime = runtime
         self._programs: List[_RegisteredProgram] = []
+        self._closed = False
+        self._pool: Optional["ProcsPool"] = None
+        self._finalizer = None
+        from repro.collectives.kernels import select_backend
+
+        self._kernels = select_backend(kernels)
+        if runtime == "procs":
+            from repro.simmpi.procs import ProcsPool, default_worker_count
+
+            if n_workers is not None and int(n_workers) < 1:
+                raise ValidationError(
+                    f"n_workers must be >= 1, got {n_workers}"
+                )
+            self._pool = ProcsPool(
+                n_workers=int(n_workers) if n_workers is not None
+                else default_worker_count(self.n_ranks))
+            # The backstop must not keep the engine alive, so it closes the
+            # pool object directly (close() is idempotent).
+            self._finalizer = weakref.finalize(self, ProcsPool.close,
+                                               self._pool)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        """Workers executing each round (1 on the single-process runtime)."""
+        return self._pool.n_workers if self._pool is not None else 1
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released the engine's resources."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release workers and shared-memory segments deterministically.
+
+        Idempotent; a no-op beyond flagging on the single-process runtime
+        (which owns no external resources).  A closed engine rejects further
+        ``register`` and ``run`` calls.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._pool is not None:
+            self._pool.close()
+        self._programs.clear()
+
+    def __enter__(self) -> "ExchangeEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise CommunicationError("exchange engine is closed")
 
     # -- registration ---------------------------------------------------------
 
@@ -77,23 +200,31 @@ class ExchangeEngine:
         """Register a compiled world exchange; returns its engine handle.
 
         Mirrors ``neighbor_alltoallv_init``: registration allocates the
-        persistent world work array and one wire arena per phase, so the
-        per-iteration path performs no allocation-sized Python work beyond
-        numpy's own temporaries.
+        persistent world work array (a shared-memory segment under
+        ``runtime="procs"``) and precomputes each phase's fused source rows,
+        so the per-iteration path performs no allocation-sized Python work
+        beyond numpy's own temporaries.
         """
+        self._check_open()
         if world.n_ranks > self.n_ranks:
             raise CommunicationError(
                 "world exchange spans more ranks than the engine provides"
             )
         spec = world.spec
-        work = np.zeros((world.n_world_rows, spec.item_size), dtype=spec.dtype)
-        wires = {
-            phase: np.empty((program.gather.size, spec.item_size),
-                            dtype=spec.dtype)
+        fused_sources = {
+            phase: np.ascontiguousarray(program.gather[program.wire_perm])
             for phase, program in world.programs.items()
         }
-        self._programs.append(_RegisteredProgram(world=world, work=work,
-                                                 wires=wires))
+        if self._pool is not None:
+            shared = self._pool.register(world)
+            work = shared.work.array
+        else:
+            shared = None
+            work = np.zeros((world.n_world_rows, spec.item_size),
+                            dtype=spec.dtype)
+        self._programs.append(_RegisteredProgram(
+            world=world, work=work, fused_sources=fused_sources,
+            shared=shared))
         return len(self._programs) - 1
 
     def _program(self, handle: int) -> _RegisteredProgram:
@@ -113,20 +244,27 @@ class ExchangeEngine:
         the same values ``PersistentNeighborCollective.wait`` hands each rank
         on the envelope-routed path.
         """
+        self._check_open()
         state = self._program(handle)
         world = state.world
         work = state.work
         work[world.owned_rows] = self._load_values(world, values)
-        for kind, phase in world.steps:
-            program = world.programs[phase]
-            if kind == "send":
-                wire = state.wires[phase]
-                if program.gather.size:
-                    np.take(work, program.gather, axis=0, out=wire)
-                self._account(program)
-            else:
-                if program.scatter.size:
-                    work[program.scatter] = state.wires[phase][program.wire_perm]
+        if state.shared is not None:
+            # The workers advance through the steps behind their barrier;
+            # accounting stays here, one bulk record per send step, in the
+            # same schedule order as the single-process path.
+            self._pool.run(handle)
+            for kind, phase in world.steps:
+                if kind == "send":
+                    self._account(world.programs[phase])
+        else:
+            fused = self._kernels.fused
+            for kind, phase in world.steps:
+                program = world.programs[phase]
+                if kind == "send":
+                    self._account(program)
+                elif program.scatter.size:
+                    fused(work, program.scatter, state.fused_sources[phase])
         flat = work[world.result_rows]
         if world.spec.item_size == 1:
             flat = flat.reshape(-1)

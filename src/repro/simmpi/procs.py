@@ -1,0 +1,407 @@
+"""Shared-memory multiprocessing runtime for the world-stepped engine.
+
+The serial :class:`~repro.simmpi.engine.ExchangeEngine` executes a registered
+world exchange as O(phases) numpy calls — fast, but on one core.  This module
+provides the ``runtime="procs"`` backend: the world work array, the per-phase
+gather / scatter / wire-permutation index arrays, and the per-phase wire
+arenas are placed in :mod:`multiprocessing.shared_memory` segments at
+registration, and a persistent pool of worker processes (forked once per
+engine, lazily at the first registration) executes every phase in parallel.
+
+**Slab ownership.**  ``compile_world_exchange`` lays the world work array out
+as contiguous per-rank row blocks and concatenates each phase's gather and
+scatter indices in the same rank order, so a contiguous range of ranks owns a
+contiguous, disjoint segment of every per-phase array.  The pool partitions
+the ranks evenly across its workers (``partition_evenly`` over
+``world.n_ranks``); worker ``w`` owns the row slab of its rank range and, per
+phase, the matching ``gather_rank_offsets`` / ``scatter_rank_offsets``
+segments.  A rank's gather and scatter indices only ever address its own row
+block, so all of a worker's *work-array* reads and writes stay inside its own
+slab; the only cross-slab traffic is the wire.
+
+**Phase-barrier protocol.**  Each step of the schedule runs as one parallel
+stanza:
+
+* ``("send", phase)`` — worker ``w`` packs its slab's slice of the wire:
+  ``wire[a:b] = work[gather[a:b]]`` (slab-local reads, disjoint wire writes);
+* ``("recv", phase)`` — worker ``w`` delivers into its slab:
+  ``work[scatter[a:b]] = wire[wire_perm[a:b]]`` — the wire permutation is
+  where values cross slab boundaries, as actual shared-memory traffic;
+* a :class:`multiprocessing.Barrier` between consecutive steps orders every
+  wire write before any wire read (and every delivery before the next pack).
+
+The parent loads owned values into the shared work array before dispatching
+and copies results out after all workers report done, so no shared-memory
+view ever escapes to the caller.  Message accounting (the profiler) stays in
+the parent, exactly as on the serial path.
+
+Lifecycle: workers are daemonic ``fork`` children driven over per-worker
+pipes; :meth:`ProcsPool.close` shuts them down and unlinks every segment
+deterministically (``ExchangeEngine.close`` / context-manager exit calls it,
+with a ``weakref.finalize`` backstop for engines that are simply dropped).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from multiprocessing.connection import Connection
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.arrays import INDEX_DTYPE, partition_evenly
+from repro.utils.errors import CommunicationError
+
+#: How long the parent waits for a worker to finish one exchange round or
+#: acknowledge a command before declaring the pool wedged.
+_WORKER_TIMEOUT = 120.0
+
+
+def default_worker_count(n_ranks: int) -> int:
+    """Worker-pool size when the caller does not choose: one per core, capped
+    by the rank count (a worker owns at least one rank's slab)."""
+    import os
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        cores = os.cpu_count() or 1
+    return max(1, min(int(n_ranks), cores))
+
+
+class SharedBlock:
+    """One shared-memory segment viewed as a numpy array.
+
+    The parent creates blocks (``SharedBlock(shape, dtype)``); workers attach
+    by name (:meth:`attach`).  ``close`` drops the numpy view before closing
+    the mapping (numpy holds a buffer export, so the view must die first) and
+    only the parent ever unlinks.
+    """
+
+    def __init__(self, shape: Tuple[int, ...], dtype: np.dtype, *,
+                 _shm: Optional[shared_memory.SharedMemory] = None):
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if _shm is None:
+            # A zero-row exchange still needs a valid (1-byte) segment.
+            self.shm = shared_memory.SharedMemory(create=True,
+                                                  size=max(1, nbytes))
+            self.owner = True
+        else:
+            self.shm = _shm
+            self.owner = False
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = dtype
+        self.array: np.ndarray = np.ndarray(self.shape, dtype=dtype,
+                                            buffer=self.shm.buf)
+        if self.owner:
+            self.array.fill(0)
+
+    @property
+    def name(self) -> str:
+        """Segment name workers attach by."""
+        return self.shm.name
+
+    @classmethod
+    def attach(cls, name: str, shape: Tuple[int, ...],
+               dtype: np.dtype) -> "SharedBlock":  # pragma: no cover - forked child
+        # Forked workers share the parent's resource tracker, whose cache is
+        # a per-name set — the attach-side registration is an idempotent
+        # no-op there, and the parent's unlink clears the one entry.  (Do NOT
+        # "fix" bpo-39959 by unregistering here: that would remove the
+        # parent's entry and make the parent's unlink trip the tracker.)
+        return cls(shape, dtype, _shm=shared_memory.SharedMemory(name=name))
+
+    def close(self) -> None:
+        """Release this process's mapping (and the segment, if owner)."""
+        if self.array is None:
+            return
+        self.array = None
+        self.shm.close()
+        if self.owner:
+            self.shm.unlink()
+
+
+@dataclass
+class _PhaseBlocks:
+    """Parent-side shared segments of one phase."""
+
+    gather: SharedBlock
+    scatter: SharedBlock
+    wire_perm: SharedBlock
+    wire: SharedBlock
+    gather_bounds: np.ndarray  # (n_workers + 1,) worker segment offsets
+    scatter_bounds: np.ndarray
+
+    def blocks(self) -> List[SharedBlock]:
+        return [self.gather, self.scatter, self.wire_perm, self.wire]
+
+
+@dataclass
+class SharedProgram:
+    """Parent-side shared-memory image of one registered world exchange.
+
+    ``work.array`` is the parent's view of the world work array — the engine
+    loads owned values into it before a round and fancy-index-copies results
+    out after, so callers only ever see private copies.
+    """
+
+    work: SharedBlock
+    phases: Dict[object, _PhaseBlocks]
+    steps: Tuple[Tuple[str, object], ...]
+
+    def close(self) -> None:
+        for phase_blocks in self.phases.values():
+            for block in phase_blocks.blocks():
+                block.close()
+        self.work.close()
+
+    def descriptor(self, handle: int) -> dict:
+        """Picklable registration message a worker rebuilds its views from."""
+        return {
+            "handle": handle,
+            "work": (self.work.name, self.work.shape, self.work.dtype.str),
+            "steps": [(kind, phase) for kind, phase in self.steps],
+            "phases": {
+                phase: {
+                    "gather": (pb.gather.name, pb.gather.shape),
+                    "scatter": (pb.scatter.name, pb.scatter.shape),
+                    "wire_perm": (pb.wire_perm.name, pb.wire_perm.shape),
+                    "wire": (pb.wire.name, pb.wire.shape,
+                             pb.wire.dtype.str),
+                    "gather_bounds": pb.gather_bounds.tolist(),
+                    "scatter_bounds": pb.scatter_bounds.tolist(),
+                }
+                for phase, pb in self.phases.items()
+            },
+        }
+
+
+def share_program(world, n_workers: int) -> SharedProgram:
+    """Build the shared-memory image of a compiled world exchange.
+
+    Slab boundaries come from the per-rank row blocks: the ranks are split
+    evenly across the workers, and each phase's per-worker gather/scatter
+    segments are read off the program's rank offsets.
+    """
+    spec = world.spec
+    work = SharedBlock((world.n_world_rows, spec.item_size), spec.dtype)
+    rank_bounds = partition_evenly(world.n_ranks, n_workers)
+    phases: Dict[object, _PhaseBlocks] = {}
+    for phase, program in world.programs.items():
+        gather = SharedBlock((program.gather.size,), INDEX_DTYPE)
+        gather.array[:] = program.gather
+        scatter = SharedBlock((program.scatter.size,), INDEX_DTYPE)
+        scatter.array[:] = program.scatter
+        wire_perm = SharedBlock((program.wire_perm.size,), INDEX_DTYPE)
+        wire_perm.array[:] = program.wire_perm
+        wire = SharedBlock((program.gather.size, spec.item_size), spec.dtype)
+        phases[phase] = _PhaseBlocks(
+            gather=gather, scatter=scatter, wire_perm=wire_perm, wire=wire,
+            gather_bounds=program.gather_rank_offsets[rank_bounds],
+            scatter_bounds=program.scatter_rank_offsets[rank_bounds],
+        )
+    return SharedProgram(work=work, phases=phases, steps=tuple(world.steps))
+
+
+# -- the worker side ---------------------------------------------------------------
+
+
+def _attach_program(descriptor: dict) -> dict:  # pragma: no cover - forked child
+    """Rebuild a worker's views of a registered program from its descriptor."""
+    work_name, work_shape, work_dtype = descriptor["work"]
+    views = {
+        "work": SharedBlock.attach(work_name, tuple(work_shape),
+                                   np.dtype(work_dtype)),
+        "steps": descriptor["steps"],
+        "phases": {},
+    }
+    for phase, meta in descriptor["phases"].items():
+        wire_name, wire_shape, wire_dtype = meta["wire"]
+        views["phases"][phase] = {
+            "gather": SharedBlock.attach(*meta["gather"], INDEX_DTYPE),
+            "scatter": SharedBlock.attach(*meta["scatter"], INDEX_DTYPE),
+            "wire_perm": SharedBlock.attach(*meta["wire_perm"], INDEX_DTYPE),
+            "wire": SharedBlock.attach(wire_name, tuple(wire_shape),
+                                       np.dtype(wire_dtype)),
+            "gather_bounds": meta["gather_bounds"],
+            "scatter_bounds": meta["scatter_bounds"],
+        }
+    return views
+
+
+def _run_round(program: dict, worker_id: int, barrier) -> None:  # pragma: no cover
+    """Execute one exchange round's steps for this worker's slab."""
+    from repro.collectives.kernels import active_backend
+
+    kernels = active_backend()
+    work = program["work"].array
+    for kind, phase in program["steps"]:
+        views = program["phases"][phase]
+        if kind == "send":
+            lo = views["gather_bounds"][worker_id]
+            hi = views["gather_bounds"][worker_id + 1]
+            if hi > lo:
+                kernels.gather(work, views["gather"].array[lo:hi],
+                               views["wire"].array[lo:hi])
+        else:
+            lo = views["scatter_bounds"][worker_id]
+            hi = views["scatter_bounds"][worker_id + 1]
+            if hi > lo:
+                wire = views["wire"].array
+                perm = views["wire_perm"].array[lo:hi]
+                kernels.scatter(work, views["scatter"].array[lo:hi],
+                                wire[perm])
+        barrier.wait()
+
+
+def _worker_main(worker_id: int, conn: Connection,
+                 barrier) -> None:  # pragma: no cover - forked child
+    """Worker loop: register programs, run rounds, exit on close."""
+    import threading
+
+    programs: Dict[int, dict] = {}
+    try:
+        while True:
+            command = conn.recv()
+            kind = command[0]
+            if kind == "close":
+                break
+            try:
+                if kind == "register":
+                    descriptor = command[1]
+                    programs[descriptor["handle"]] = \
+                        _attach_program(descriptor)
+                elif kind == "run":
+                    _run_round(programs[command[1]], worker_id, barrier)
+                conn.send((worker_id, None))
+            except threading.BrokenBarrierError:
+                conn.send((worker_id, "barrier broken by a peer worker"))
+            except Exception as exc:
+                barrier.abort()
+                conn.send((worker_id, f"{type(exc).__name__}: {exc}"))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        for program in programs.values():
+            for views in program["phases"].values():
+                for key in ("gather", "scatter", "wire_perm", "wire"):
+                    views[key].close()
+            program["work"].close()
+        conn.close()
+
+
+# -- the parent side ---------------------------------------------------------------
+
+
+@dataclass
+class ProcsPool:
+    """A persistent pool of slab workers plus their shared programs.
+
+    One pool per ``runtime="procs"`` engine.  The workers are forked lazily at
+    the first :meth:`register` (so an engine that never registers anything
+    never forks) and live until :meth:`close`.
+    """
+
+    n_workers: int
+    _processes: List[mp.Process] = field(default_factory=list)
+    _connections: List[Connection] = field(default_factory=list)
+    _barrier: Optional[object] = None
+    _programs: List[SharedProgram] = field(default_factory=list)
+    _closed: bool = False
+
+    @property
+    def started(self) -> bool:
+        """Whether the workers have been forked yet."""
+        return bool(self._processes)
+
+    def _ensure_started(self) -> None:
+        if self._processes or self._closed:
+            return
+        # Start the parent's resource tracker BEFORE forking, so every worker
+        # inherits it and their shared-memory attaches register with the one
+        # tracker the parent's unlink later clears.  Forking first would leave
+        # each child to spawn a private tracker whose cache nobody clears —
+        # "leaked shared_memory objects" warnings at interpreter shutdown.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        context = mp.get_context("fork")
+        self._barrier = context.Barrier(self.n_workers)
+        for worker_id in range(self.n_workers):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(worker_id, child_conn, self._barrier),
+                daemon=True,
+                name=f"repro-exchange-worker-{worker_id}",
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._connections.append(parent_conn)
+
+    def _collect(self, what: str) -> None:
+        """Wait for every worker's acknowledgement; surface the first error."""
+        errors: List[str] = []
+        for worker_id, conn in enumerate(self._connections):
+            if not conn.poll(_WORKER_TIMEOUT):
+                raise CommunicationError(
+                    f"procs worker {worker_id} did not answer a {what} "
+                    f"command within {_WORKER_TIMEOUT:.0f}s"
+                )
+            _, error = conn.recv()
+            if error is not None:
+                errors.append(f"worker {worker_id}: {error}")
+        if errors:
+            self._barrier.reset()
+            raise CommunicationError(
+                f"procs {what} failed: " + "; ".join(errors)
+            )
+
+    def register(self, world) -> SharedProgram:
+        """Share a compiled world exchange and hand it to every worker."""
+        if self._closed:
+            raise CommunicationError("exchange engine is closed")
+        self._ensure_started()
+        program = share_program(world, self.n_workers)
+        self._programs.append(program)
+        descriptor = program.descriptor(len(self._programs) - 1)
+        for conn in self._connections:
+            conn.send(("register", descriptor))
+        self._collect("register")
+        return program
+
+    def run(self, handle: int) -> None:
+        """Execute one exchange round across all workers (blocking)."""
+        if self._closed:
+            raise CommunicationError("exchange engine is closed")
+        for conn in self._connections:
+            conn.send(("run", handle))
+        self._collect("run")
+
+    def close(self) -> None:
+        """Shut the workers down and release every shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._connections:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.terminate()
+                process.join(timeout=10.0)
+            process.close()
+        for conn in self._connections:
+            conn.close()
+        self._processes.clear()
+        self._connections.clear()
+        for program in self._programs:
+            program.close()
+        self._programs.clear()

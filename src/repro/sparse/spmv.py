@@ -45,7 +45,7 @@ from repro.collectives.api import neighbor_alltoallv_init, neighbor_alltoallv_in
 from repro.collectives.plan import Variant
 from repro.pattern.builders import neighbor_lists
 from repro.simmpi.comm import SimComm
-from repro.simmpi.engine import ExchangeEngine
+from repro.simmpi.engine import ENGINE_RUNTIMES, ExchangeEngine, default_runtime
 from repro.simmpi.profiler import TrafficProfiler
 from repro.simmpi.topo_comm import dist_graph_create_adjacent
 from repro.sparse.comm_pkg import (
@@ -130,7 +130,8 @@ class DistributedSpMV:
 
     def __init__(self, comm: SimComm, matrix: ParCSRMatrix, mapping: RankMapping, *,
                  variant: Variant | str = Variant.PARTIAL,
-                 strategy: BalanceStrategy = BalanceStrategy.BYTES):
+                 strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                 collective=None):
         if comm.size < matrix.n_ranks:
             raise ValidationError(
                 f"communicator has {comm.size} ranks but the matrix is partitioned "
@@ -145,9 +146,13 @@ class DistributedSpMV:
         self.row_range = self.blocks.row_range
 
         # The collective is built from the comm-pkg index arrays directly —
-        # no per-item list conversion at the boundary.
-        self.collective = _init_rank_collective(comm, build_comm_pkg(matrix),
-                                                mapping, variant, strategy)
+        # no per-item list conversion at the boundary.  An injected
+        # ``collective`` (e.g. from a batched ``neighbor_alltoallv_init_many``
+        # covering a whole hierarchy's setup) skips the per-instance gather.
+        if collective is None:
+            collective = _init_rank_collective(comm, build_comm_pkg(matrix),
+                                               mapping, variant, strategy)
+        self.collective = collective
         # The halo exchange is array-native: precompute the index arrays that
         # connect the local vector to the dense exchange input and the dense
         # halo output to the offd product input — the per-iteration path is
@@ -200,7 +205,9 @@ class WorldSpMV:
                  variant: Variant | str = Variant.PARTIAL,
                  strategy: BalanceStrategy = BalanceStrategy.BYTES,
                  engine: ExchangeEngine | None = None,
-                 profiler: TrafficProfiler | None = None):
+                 profiler: TrafficProfiler | None = None,
+                 runtime: str | None = None,
+                 n_workers: int | None = None):
         check_mapping_covers(mapping, matrix.n_ranks)
         self.matrix = matrix
         self.mapping = mapping
@@ -208,7 +215,8 @@ class WorldSpMV:
         pattern = pattern_from_parcsr(matrix)
         self.collective = neighbor_alltoallv_init_world(
             pattern, mapping, variant=variant, strategy=strategy,
-            engine=engine, profiler=profiler)
+            engine=engine, profiler=profiler, runtime=runtime,
+            n_workers=n_workers)
         self.blocks = [matrix.local_blocks(rank) for rank in range(self.n_ranks)]
         # Per-rank index arrays, exactly as in DistributedSpMV: local-vector
         # positions of the owned exchange input, and offd-column positions of
@@ -220,6 +228,16 @@ class WorldSpMV:
     def n_rows(self) -> int:
         """Global rows of the distributed operator."""
         return self.matrix.n_rows
+
+    def close(self) -> None:
+        """Release the halo collective's private engine (workers, segments)."""
+        self.collective.close()
+
+    def __enter__(self) -> "WorldSpMV":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def multiply(self, x: np.ndarray) -> np.ndarray:
         """Compute ``A @ x`` for the *global* vector ``x`` (one call, all ranks)."""
@@ -257,7 +275,8 @@ class DistributedRectSpMV:
     def __init__(self, comm: SimComm, matrix: ParCSRRectMatrix,
                  mapping: RankMapping, *,
                  variant: Variant | str = Variant.PARTIAL,
-                 strategy: BalanceStrategy = BalanceStrategy.BYTES):
+                 strategy: BalanceStrategy = BalanceStrategy.BYTES,
+                 collective=None):
         if comm.size < matrix.n_ranks:
             raise ValidationError(
                 f"communicator has {comm.size} ranks but the matrix is partitioned "
@@ -272,8 +291,10 @@ class DistributedRectSpMV:
         self.row_range = self.blocks.row_range
         self.col_range = self.blocks.col_range
 
-        self.collective = _init_rank_collective(
-            comm, build_transfer_comm_pkg(matrix), mapping, variant, strategy)
+        if collective is None:
+            collective = _init_rank_collective(
+                comm, build_transfer_comm_pkg(matrix), mapping, variant, strategy)
+        self.collective = collective
         col_first, _ = self.col_range
         self._owned_positions = self.collective.owned_item_ids - col_first
         self._halo_positions = _halo_positions(self.blocks.col_map_offd,
@@ -322,7 +343,9 @@ class WorldRectSpMV:
                  variant: Variant | str = Variant.PARTIAL,
                  strategy: BalanceStrategy = BalanceStrategy.BYTES,
                  engine: ExchangeEngine | None = None,
-                 profiler: TrafficProfiler | None = None):
+                 profiler: TrafficProfiler | None = None,
+                 runtime: str | None = None,
+                 n_workers: int | None = None):
         check_mapping_covers(mapping, matrix.n_ranks)
         self.matrix = matrix
         self.mapping = mapping
@@ -330,7 +353,8 @@ class WorldRectSpMV:
         pattern = transfer_pattern(matrix)
         self.collective = neighbor_alltoallv_init_world(
             pattern, mapping, variant=variant, strategy=strategy,
-            engine=engine, profiler=profiler)
+            engine=engine, profiler=profiler, runtime=runtime,
+            n_workers=n_workers)
         self.blocks = [matrix.local_blocks(rank) for rank in range(self.n_ranks)]
         self._owned_positions, self._halo_positions = _world_positions(
             self.collective, self.blocks, lambda blocks: blocks.col_range[0])
@@ -339,6 +363,16 @@ class WorldRectSpMV:
     def n_rows(self) -> int:
         """Global output-vector length."""
         return self.matrix.n_rows
+
+    def close(self) -> None:
+        """Release the halo collective's private engine (workers, segments)."""
+        self.collective.close()
+
+    def __enter__(self) -> "WorldRectSpMV":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     @property
     def n_cols(self) -> int:
@@ -373,25 +407,29 @@ def distributed_transfer_results(matrix: ParCSRRectMatrix, mapping: RankMapping,
                                  variant: Variant | str = Variant.PARTIAL,
                                  strategy: BalanceStrategy = BalanceStrategy.BYTES,
                                  timeout: float = 120.0,
-                                 runtime: str = "engine") -> np.ndarray:
+                                 runtime: str | None = None) -> np.ndarray:
     """Run a full distributed grid-transfer product and assemble ``A @ x``.
 
     The rectangular sibling of :func:`distributed_spmv_results`, with the same
     ``runtime`` switch: ``"engine"`` executes world-stepped through
-    :class:`WorldRectSpMV`, ``"threads"`` runs one
+    :class:`WorldRectSpMV`, ``"procs"`` does the same through the
+    shared-memory worker pool, ``"threads"`` runs one
     :class:`DistributedRectSpMV` per simulated-rank thread (the pinned
-    envelope-routed reference, byte-identical to the engine).
+    envelope-routed reference, byte-identical to both engine runtimes).
     """
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (matrix.n_cols,):
         raise ValidationError(f"x must have shape ({matrix.n_cols},), got {x.shape}")
     check_mapping_covers(mapping, matrix.n_ranks)
-    if runtime == "engine":
-        return WorldRectSpMV(matrix, mapping, variant=variant,
-                             strategy=strategy).multiply(x)
+    if runtime is None:
+        runtime = default_runtime()
+    if runtime in ENGINE_RUNTIMES:
+        with WorldRectSpMV(matrix, mapping, variant=variant,
+                           strategy=strategy, runtime=runtime) as spmv:
+            return spmv.multiply(x)
     if runtime != "threads":
         raise ValidationError(
-            f"runtime must be 'engine' or 'threads', got {runtime!r}"
+            f"runtime must be 'engine', 'threads' or 'procs', got {runtime!r}"
         )
 
     from repro.simmpi.world import run_spmd  # local import to avoid cycles at import time
@@ -415,27 +453,33 @@ def distributed_spmv_results(matrix: ParCSRMatrix, mapping: RankMapping,
                              variant: Variant | str = Variant.PARTIAL,
                              strategy: BalanceStrategy = BalanceStrategy.BYTES,
                              timeout: float = 120.0,
-                             runtime: str = "engine") -> np.ndarray:
+                             runtime: str | None = None) -> np.ndarray:
     """Run a full distributed SpMV and assemble ``A @ x``.
 
     This is the one-call form used by tests and examples.  With the default
     ``runtime="engine"`` the product runs world-stepped through
-    :class:`WorldSpMV` (single thread, batched exchange).
-    ``runtime="threads"`` launches one simulated-rank thread per partition
-    entry on the envelope-routed runtime — the pinned reference path, byte-
-    identical to the engine.  ``timeout`` bounds only the threaded run (the
-    engine path never blocks, so it has no deadline to enforce).
+    :class:`WorldSpMV` (single process, fused batched exchange);
+    ``runtime="procs"`` executes the same world program on the shared-memory
+    worker pool.  ``runtime="threads"`` launches one simulated-rank thread
+    per partition entry on the envelope-routed runtime — the pinned
+    reference path, byte-identical to both engine runtimes.  ``runtime=None``
+    resolves through the ``REPRO_RUNTIME`` environment variable (falling
+    back to ``"engine"``).  ``timeout`` bounds only the threaded run (the
+    engine paths never block, so they have no deadline to enforce).
     """
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (matrix.n_rows,):
         raise ValidationError(f"x must have shape ({matrix.n_rows},), got {x.shape}")
     check_mapping_covers(mapping, matrix.n_ranks)
-    if runtime == "engine":
-        return WorldSpMV(matrix, mapping, variant=variant,
-                         strategy=strategy).multiply(x)
+    if runtime is None:
+        runtime = default_runtime()
+    if runtime in ENGINE_RUNTIMES:
+        with WorldSpMV(matrix, mapping, variant=variant,
+                       strategy=strategy, runtime=runtime) as spmv:
+            return spmv.multiply(x)
     if runtime != "threads":
         raise ValidationError(
-            f"runtime must be 'engine' or 'threads', got {runtime!r}"
+            f"runtime must be 'engine', 'threads' or 'procs', got {runtime!r}"
         )
 
     from repro.simmpi.world import run_spmd  # local import to avoid cycles at import time

@@ -92,6 +92,29 @@ def partition_evenly(total: int, parts: int) -> np.ndarray:
     return offsets
 
 
+def gather_ranges(values: np.ndarray, starts: np.ndarray,
+                  lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``values[starts[i]:starts[i] + lengths[i]]`` for every ``i``.
+
+    The vectorized form of a slice-and-concatenate loop: one index array is
+    built with ``repeat``/``arange`` and applied in a single fancy index, so
+    unpacking N variable-length ranges costs O(total) numpy work instead of
+    N Python-level slices.  This is the parse primitive of the packed setup
+    gathers (``_gather_pattern`` and the batched ``init_many`` form).
+    """
+    starts = np.asarray(starts, dtype=INDEX_DTYPE)
+    lengths = np.asarray(lengths, dtype=INDEX_DTYPE)
+    if starts.shape != lengths.shape:
+        raise ValidationError("starts and lengths must be parallel arrays")
+    if lengths.size and lengths.min() < 0:
+        raise ValidationError("lengths must be non-negative")
+    offsets = counts_to_displs(lengths)
+    total = int(offsets[-1])
+    index = np.arange(total, dtype=INDEX_DTYPE)
+    index += np.repeat(starts - offsets[:-1], lengths)
+    return values[index]
+
+
 def buffer_writable(array: np.ndarray) -> bool:
     """True when the array's memory can be written through any alias.
 

@@ -7,7 +7,8 @@ The distributed V-cycle exists in three forms that must agree:
 * :class:`DistributedVCycle`, one rank per thread on the envelope-routed
   runtime (the pinned byte-level reference for the engine), and
 * :class:`WorldVCycle`, whole cycles for all ranks through the batched
-  :class:`ExchangeEngine`.
+  :class:`ExchangeEngine` — on both engine runtimes (single-process fused
+  kernels and the ``"procs"`` shared-memory worker pool).
 
 World vs envelope is pinned *byte-identical* — results and per-level
 data-path profiler totals — across stencils x partitions x mappings x sweep
@@ -81,18 +82,20 @@ def _sorted_columns(profiler):
     return sources[order], dests[order], nbytes[order]
 
 
+@pytest.mark.parametrize("runtime,n_workers", [("engine", None), ("procs", 2)])
 @pytest.mark.parametrize("config_key", sorted(CONFIGS))
 @pytest.mark.parametrize("variant", [Variant.STANDARD, Variant.PARTIAL,
                                      Variant.FULL])
 def test_world_cycle_byte_identical_to_envelope_and_matches_seed(
-        config_key, variant, rng):
+        config_key, variant, runtime, n_workers, rng):
     matrix, hierarchy = _build(config_key)
     mapping = paper_mapping(N_RANKS, ranks_per_node=4)
     b = rng.standard_normal(matrix.n_rows)
     x0 = rng.standard_normal(matrix.n_rows)
 
-    world = WorldVCycle(hierarchy, mapping, variant=variant)
-    world_x = world.cycle(b, x0)
+    with WorldVCycle(hierarchy, mapping, variant=variant, runtime=runtime,
+                     n_workers=n_workers) as world:
+        world_x = world.cycle(b, x0)
     envelope_x = _distributed_cycle(hierarchy, mapping, b, x0, variant=variant)
     assert np.array_equal(world_x, envelope_x)
 

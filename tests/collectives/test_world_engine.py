@@ -35,6 +35,16 @@ from repro.utils.errors import CommunicationError, ValidationError
 ALL_VARIANTS = (Variant.POINT_TO_POINT, Variant.STANDARD,
                 Variant.PARTIAL, Variant.FULL)
 
+#: The engine runtimes the golden suites pin byte-identical.  ``"procs"``
+#: always runs with several workers (regardless of core count) so the
+#: cross-slab wire permutation is actually exercised.
+ENGINE_RUNTIMES = ("engine", "procs")
+
+
+def _runtime_kwargs(runtime):
+    return {"runtime": runtime,
+            "n_workers": 3 if runtime == "procs" else None}
+
 
 def _rank_values(collective: WorldNeighborCollective, scale: float = 100.0):
     """Deterministic per-rank input arrays derived from owned item ids."""
@@ -77,13 +87,15 @@ def _profile_digest(profiler: TrafficProfiler):
 class TestGoldenEquivalence:
     """Engine output and accounting == envelope-routed reference."""
 
+    @pytest.mark.parametrize("runtime", ENGINE_RUNTIMES)
     @pytest.mark.parametrize("variant", ALL_VARIANTS)
     @pytest.mark.parametrize("pattern_name,ranks_per_node", [
         ("random_dup", 8),
         ("random_sparse", 4),
         ("halo", 8),
     ])
-    def test_results_and_profile_match(self, variant, pattern_name, ranks_per_node):
+    def test_results_and_profile_match(self, variant, pattern_name,
+                                       ranks_per_node, runtime):
         if pattern_name == "random_dup":
             n_ranks = 24
             pattern = random_pattern(n_ranks, avg_neighbors=6,
@@ -108,8 +120,9 @@ class TestGoldenEquivalence:
             profiler=reference_profiler)
 
         engine_profiler = TrafficProfiler(mapping)
-        collective = WorldNeighborCollective(plan, profiler=engine_profiler)
-        results = collective.exchange(_rank_values(collective))
+        with WorldNeighborCollective(plan, profiler=engine_profiler,
+                                     **_runtime_kwargs(runtime)) as collective:
+            results = collective.exchange(_rank_values(collective))
 
         for rank in range(n_ranks):
             assert np.array_equal(np.asarray(reference[rank]), results[rank])
@@ -138,10 +151,11 @@ class TestGoldenEquivalence:
         for rank in range(n_ranks):
             assert np.array_equal(np.asarray(reference[rank]), results[rank])
 
+    @pytest.mark.parametrize("runtime", ENGINE_RUNTIMES)
     @pytest.mark.parametrize("dtype,item_size", [
         (np.float32, 1), (np.float64, 3), (np.int64, 2), (np.complex128, 1),
     ])
-    def test_dtype_item_size_matrix(self, dtype, item_size):
+    def test_dtype_item_size_matrix(self, dtype, item_size, runtime):
         n_ranks = 8
         pattern = random_pattern(n_ranks, avg_neighbors=3, seed=5,
                                  dtype=dtype, item_size=item_size)
@@ -157,11 +171,12 @@ class TestGoldenEquivalence:
 
         reference = _reference_results(
             plan, n_ranks, lambda rank, _, owned: values_for(rank, owned))
-        collective = WorldNeighborCollective(plan)
-        results = collective.exchange([
-            values_for(rank, collective.owned_item_ids(rank))
-            for rank in range(n_ranks)
-        ])
+        with WorldNeighborCollective(plan,
+                                     **_runtime_kwargs(runtime)) as collective:
+            results = collective.exchange([
+                values_for(rank, collective.owned_item_ids(rank))
+                for rank in range(n_ranks)
+            ])
         for rank in range(n_ranks):
             assert results[rank].dtype == np.dtype(dtype)
             assert np.array_equal(np.asarray(reference[rank]), results[rank])

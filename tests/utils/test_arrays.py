@@ -8,6 +8,7 @@ from repro.utils.arrays import (
     concatenate_or_empty,
     counts_to_displs,
     displs_to_counts,
+    gather_ranges,
     invert_permutation,
     partition_evenly,
     stable_unique,
@@ -92,6 +93,35 @@ class TestStableUnique:
 
     def test_already_unique(self):
         assert stable_unique([9, 2, 4]).tolist() == [9, 2, 4]
+
+
+class TestGatherRanges:
+    def test_matches_slice_loop(self):
+        values = np.arange(100, 120)
+        starts = np.array([3, 0, 17, 9])
+        lengths = np.array([4, 2, 3, 0])
+        expected = np.concatenate([values[s:s + n]
+                                   for s, n in zip(starts, lengths)])
+        assert gather_ranges(values, starts, lengths).tolist() == expected.tolist()
+
+    def test_overlapping_and_repeated_ranges(self):
+        values = np.array([10, 11, 12, 13])
+        result = gather_ranges(values, np.array([1, 1, 0]), np.array([2, 2, 4]))
+        assert result.tolist() == [11, 12, 11, 12, 10, 11, 12, 13]
+
+    def test_empty_ranges(self):
+        assert gather_ranges(np.arange(5), np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64)).size == 0
+        assert gather_ranges(np.arange(5), np.array([2, 4]),
+                             np.array([0, 0])).size == 0
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValidationError, match="parallel"):
+            gather_ranges(np.arange(5), np.array([0, 1]), np.array([1]))
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            gather_ranges(np.arange(5), np.array([0]), np.array([-1]))
 
 
 class TestMisc:
