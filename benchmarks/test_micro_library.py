@@ -524,3 +524,75 @@ def test_micro_procs_pool_speedup_over_single_process():
     assert speedup >= 1.5, \
         f"expected the 4-worker pool >= 1.5x over one process, " \
         f"measured {speedup:.2f}x"
+
+
+def test_bench_procs_crash_recovery():
+    """Crash-recovery latency of the supervised procs runtime.
+
+    A worker is SIGKILLed mid-round by the deterministic fault harness.  Two
+    numbers matter: *detection* (how long until the supervisor diagnoses the
+    dead worker from its process sentinel) and *recovery* (the full faulted
+    round: detect, respawn the pool, re-register the shared program, re-run).
+    The baseline is the 120 s default ack timeout the legacy sequential
+    ``poll(timeout)`` loop would have burned before noticing anything; the
+    acceptance gate from the fault-tolerance work is detection < 5 s.
+    """
+    from repro.collectives import WorldNeighborCollective
+    from repro.simmpi import ExchangeEngine, FaultPlan, FaultSpec
+    from repro.simmpi.procs import _WORKER_TIMEOUT
+    from repro.utils.errors import WorkerError
+
+    n_ranks = 16
+    n_workers = 2
+    pattern = random_pattern(n_ranks, avg_neighbors=6,
+                             avg_items_per_message=64, items_per_rank=512,
+                             duplicate_fraction=0.2, seed=31)
+    mapping = paper_mapping(n_ranks, ranks_per_node=4)
+    plan = make_plan(pattern, mapping, Variant.FULL)
+
+    def values(collective):
+        return [100.0 * rank
+                + collective.owned_item_ids(rank).astype(np.float64)
+                for rank in range(n_ranks)]
+
+    fault = FaultPlan([FaultSpec("crash", round=1, phase="send", worker=0)])
+
+    # Detection: a generous timeout proves the diagnosis is sentinel-driven.
+    engine = ExchangeEngine(n_ranks, runtime="procs", n_workers=n_workers,
+                            on_failure="raise", fault_plan=fault)
+    with WorldNeighborCollective(plan, engine=engine) as detect:
+        detect.exchange(values(detect))  # warm round 0
+        start = time.perf_counter()
+        try:
+            detect.exchange(values(detect))
+        except WorkerError:
+            detection_s = time.perf_counter() - start
+        else:  # pragma: no cover - harness failure
+            raise AssertionError("injected crash was not detected")
+    engine.close()
+
+    # Recovery: the same crash, but the engine respawns and retries.
+    engine = ExchangeEngine(n_ranks, runtime="procs", n_workers=n_workers,
+                            retry_backoff=0.01, fault_plan=fault)
+    with WorldNeighborCollective(plan) as serial, \
+            WorldNeighborCollective(plan, engine=engine) as pooled:
+        reference = serial.exchange(values(serial))
+        pooled.exchange(values(pooled))  # warm round 0
+        start = time.perf_counter()
+        results = pooled.exchange(values(pooled))  # faulted + recovered round
+        recovery_s = time.perf_counter() - start
+        for rank in range(n_ranks):
+            assert np.array_equal(reference[rank], results[rank])
+        assert [event.action for event in pooled.engine.events] == ["retry"]
+    engine.close()
+
+    speedup = _WORKER_TIMEOUT / detection_s
+    print(f"\ncrash recovery ({n_ranks} ranks, {n_workers} workers): "
+          f"detection {detection_s * 1e3:.1f} ms vs {_WORKER_TIMEOUT:.0f} s "
+          f"legacy timeout ({speedup:.0f}x), full recovery "
+          f"{recovery_s * 1e3:.1f} ms")
+    emit_bench("procs_recovery", speedup=speedup, baseline_s=_WORKER_TIMEOUT,
+               optimized_s=detection_s, n_ranks=n_ranks, n_workers=n_workers,
+               detection_s=detection_s, recovery_s=recovery_s)
+    assert detection_s < 5.0, \
+        f"dead-worker detection took {detection_s:.2f}s, gate is 5s"

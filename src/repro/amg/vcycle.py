@@ -335,7 +335,8 @@ class WorldVCycle:
                  profiler: TrafficProfiler | None = None,
                  level_profilers: Optional[Sequence[TrafficProfiler]] = None,
                  runtime: str | None = None,
-                 n_workers: int | None = None):
+                 n_workers: int | None = None,
+                 on_failure: str | None = None):
         _check_cycle_arguments(hierarchy, mapping, pre_sweeps, post_sweeps)
         _check_level_profilers(level_profilers, hierarchy.n_levels)
         if level_profilers is not None and engine is not None:
@@ -348,10 +349,12 @@ class WorldVCycle:
                 "pass either a profiler (for a private shared engine) or an "
                 "engine / per-level profilers, not both"
             )
-        if engine is not None and (runtime is not None or n_workers is not None):
+        if engine is not None and (runtime is not None or n_workers is not None
+                                   or on_failure is not None):
             raise ValidationError(
                 "a shared engine already fixed its runtime; pass runtime/"
-                "n_workers only when the cycle creates its own engines"
+                "n_workers/on_failure only when the cycle creates its own "
+                "engines"
             )
         self.hierarchy = hierarchy
         self.mapping = mapping
@@ -362,13 +365,15 @@ class WorldVCycle:
         n_levels = hierarchy.n_levels
         if level_profilers is not None:
             engines = [ExchangeEngine(self.n_ranks, profiler=level_profiler,
-                                      runtime=runtime, n_workers=n_workers)
+                                      runtime=runtime, n_workers=n_workers,
+                                      on_failure=on_failure)
                        for level_profiler in level_profilers]
             self._owned_engines = list(engines)
         else:
             shared = engine if engine is not None else \
                 ExchangeEngine(self.n_ranks, profiler=profiler,
-                               runtime=runtime, n_workers=n_workers)
+                               runtime=runtime, n_workers=n_workers,
+                               on_failure=on_failure)
             engines = [shared] * n_levels
             self._owned_engines = [] if engine is not None else [shared]
         self.engines = engines
@@ -500,7 +505,8 @@ class WorldAMGSolver:
                  profiler: TrafficProfiler | None = None,
                  level_profilers: Optional[Sequence[TrafficProfiler]] = None,
                  runtime: str | None = None,
-                 n_workers: int | None = None):
+                 n_workers: int | None = None,
+                 on_failure: str | None = None):
         self.matrix = matrix
         self.hierarchy = hierarchy or build_hierarchy(
             matrix, strength_theta=strength_theta, max_levels=max_levels,
@@ -511,7 +517,7 @@ class WorldAMGSolver:
             self.hierarchy, mapping, variant=variant, strategy=strategy,
             pre_sweeps=pre_sweeps, post_sweeps=post_sweeps, omega=omega,
             engine=engine, profiler=profiler, level_profilers=level_profilers,
-            runtime=runtime, n_workers=n_workers)
+            runtime=runtime, n_workers=n_workers, on_failure=on_failure)
 
     def close(self) -> None:
         """Release the underlying V-cycle's engines (workers, shared segments)."""

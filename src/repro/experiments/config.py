@@ -39,7 +39,8 @@ def measured_level_times(profiles: Sequence[LevelCommProfile], *,
                          variants: Sequence[Variant] = ALL_VARIANTS,
                          iterations: int = 3,
                          runtime: str | None = None,
-                         n_workers: int | None = None
+                         n_workers: int | None = None,
+                         on_failure: str | None = None
                          ) -> List[Dict[Variant, float]]:
     """Wall-clock seconds of one world-stepped exchange round, per level and variant.
 
@@ -61,7 +62,8 @@ def measured_level_times(profiles: Sequence[LevelCommProfile], *,
         for variant in variants:
             with WorldNeighborCollective(profile.plans[variant],
                                          runtime=runtime,
-                                         n_workers=n_workers) as collective:
+                                         n_workers=n_workers,
+                                         on_failure=on_failure) as collective:
                 n_owned = int(collective.world.owned_offsets[-1])
                 values = np.zeros(n_owned, dtype=collective.dtype)
                 collective.exchange(values)  # warm the arenas
@@ -80,7 +82,8 @@ def measured_cycle_times(hierarchy, mapping, *,
                          strategy: BalanceStrategy = BalanceStrategy.BYTES,
                          iterations: int = 3,
                          runtime: str | None = None,
-                         n_workers: int | None = None) -> Dict[Variant, float]:
+                         n_workers: int | None = None,
+                         on_failure: str | None = None) -> Dict[Variant, float]:
     """Wall-clock seconds of one whole world-stepped V-cycle, per variant.
 
     The solve-phase counterpart of :func:`measured_level_times`: instead of
@@ -101,7 +104,7 @@ def measured_cycle_times(hierarchy, mapping, *,
     for variant in variants:
         with WorldVCycle(hierarchy, mapping, variant=variant,
                          strategy=strategy, runtime=runtime,
-                         n_workers=n_workers) as vcycle:
+                         n_workers=n_workers, on_failure=on_failure) as vcycle:
             vcycle.cycle(b, x)  # warm the arenas
             best = float("inf")
             for _ in range(iterations):
@@ -233,20 +236,25 @@ class ExperimentContext:
     def measured_level_times(self, *, variants: Sequence[Variant] = ALL_VARIANTS,
                              iterations: int = 3,
                              runtime: str | None = None,
-                             n_workers: int | None = None
+                             n_workers: int | None = None,
+                             on_failure: str | None = None
                              ) -> List[Dict[Variant, float]]:
         """World-stepped measured exchange-round times (see module helper)."""
         return measured_level_times(self.profiles, variants=variants,
                                     iterations=iterations, runtime=runtime,
-                                    n_workers=n_workers)
+                                    n_workers=n_workers,
+                                    on_failure=on_failure)
 
     def measured_cycle_times(self, *, variants: Sequence[Variant] = ALL_VARIANTS,
                              iterations: int = 3,
                              runtime: str | None = None,
-                             n_workers: int | None = None) -> Dict[Variant, float]:
+                             n_workers: int | None = None,
+                             on_failure: str | None = None
+                             ) -> Dict[Variant, float]:
         """World-stepped measured whole-V-cycle times (see module helper)."""
         return measured_cycle_times(self.hierarchy, self.mapping,
                                     variants=variants,
                                     strategy=self.config.strategy,
                                     iterations=iterations, runtime=runtime,
-                                    n_workers=n_workers)
+                                    n_workers=n_workers,
+                                    on_failure=on_failure)

@@ -70,7 +70,8 @@ class PerLevelResult:
 
 def executed_statistics(plan: CollectivePlan, *,
                         runtime: str | None = None,
-                        n_workers: int | None = None) -> PatternStatistics:
+                        n_workers: int | None = None,
+                        on_failure: str | None = None) -> PatternStatistics:
     """Statistics *observed* by executing one world-stepped exchange round.
 
     Runs the plan through the batched
@@ -86,7 +87,8 @@ def executed_statistics(plan: CollectivePlan, *,
 
     profiler = TrafficProfiler(plan.mapping)
     with WorldNeighborCollective(plan, profiler=profiler, runtime=runtime,
-                                 n_workers=n_workers) as collective:
+                                 n_workers=n_workers,
+                                 on_failure=on_failure) as collective:
         n_owned = int(collective.world.owned_offsets[-1])
         collective.exchange(np.zeros(n_owned, dtype=collective.dtype))
     sources, dests, nbytes = profiler.data_columns()
@@ -102,7 +104,8 @@ def executed_cycle_statistics(hierarchy, mapping, *,
                               strategy=None,
                               pre_sweeps: int = 1, post_sweeps: int = 1,
                               runtime: str | None = None,
-                              n_workers: int | None = None
+                              n_workers: int | None = None,
+                              on_failure: str | None = None
                               ) -> List[PatternStatistics]:
     """Per-level statistics observed by executing one whole world-stepped V-cycle.
 
@@ -124,7 +127,7 @@ def executed_cycle_statistics(hierarchy, mapping, *,
     with WorldVCycle(hierarchy, mapping, variant=variant, strategy=strategy,
                      pre_sweeps=pre_sweeps, post_sweeps=post_sweeps,
                      level_profilers=profilers, runtime=runtime,
-                     n_workers=n_workers) as vcycle:
+                     n_workers=n_workers, on_failure=on_failure) as vcycle:
         n = vcycle.n_rows
         vcycle.cycle(np.ones(n, dtype=np.float64), np.zeros(n, dtype=np.float64))
     n_ranks = hierarchy.levels[0].matrix.n_ranks

@@ -36,22 +36,41 @@ from repro.simmpi.request import (
 from repro.simmpi.comm import SimComm
 from repro.simmpi.engine import (
     ENGINE_RUNTIMES,
+    ON_FAILURE_ENV,
+    ON_FAILURE_POLICIES,
     RUNTIME_ENV,
     ExchangeEngine,
+    default_on_failure,
     default_runtime,
 )
-from repro.simmpi.procs import ProcsPool, default_worker_count
+from repro.simmpi.faults import FAULTS_ENV, FaultPlan, FaultSpec
+from repro.simmpi.procs import (
+    TIMEOUT_ENV,
+    ProcsPool,
+    RecoveryEvent,
+    default_worker_count,
+    default_worker_timeout,
+)
 from repro.simmpi.world import SimWorld, run_spmd
 from repro.simmpi.topo_comm import DistGraphComm, dist_graph_create_adjacent
 from repro.simmpi.profiler import TrafficBatch, TrafficProfiler, TrafficRecord
 
 __all__ = [
     "ENGINE_RUNTIMES",
+    "FAULTS_ENV",
+    "ON_FAILURE_ENV",
+    "ON_FAILURE_POLICIES",
     "RUNTIME_ENV",
+    "TIMEOUT_ENV",
     "ExchangeEngine",
+    "FaultPlan",
+    "FaultSpec",
     "ProcsPool",
+    "RecoveryEvent",
+    "default_on_failure",
     "default_runtime",
     "default_worker_count",
+    "default_worker_timeout",
     "TrafficBatch",
     "MessageFabric",
     "Request",

@@ -55,12 +55,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.simmpi.profiler import TrafficProfiler
-from repro.utils.errors import CommunicationError, ValidationError
+from repro.utils.errors import CommunicationError, ValidationError, WorkerError
 from repro.utils.validation import check_value_preserving_cast
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a package cycle
     from repro.collectives.exchange import WorldExchange, WorldPhaseProgram
-    from repro.simmpi.procs import ProcsPool, SharedProgram
+    from repro.simmpi.faults import FaultPlan
+    from repro.simmpi.procs import ProcsPool, RecoveryEvent, SharedProgram
 
 #: Per-iteration input: one dense array per rank, or one flat concatenation of
 #: all ranks' owned values in rank order (the zero-copy fast path).
@@ -70,10 +71,22 @@ WorldValues = Union[Sequence[np.ndarray], np.ndarray]
 #: for the ``runtime=`` keywords of the user surface) in the process.
 RUNTIME_ENV = "REPRO_RUNTIME"
 
+#: Environment variable that flips the default worker-failure policy for
+#: every ``runtime="procs"`` engine (and the ``on_failure=`` keywords of the
+#: user surface) in the process.
+ON_FAILURE_ENV = "REPRO_ON_FAILURE"
+
 #: Runtimes the engine itself executes.  ``"threads"`` is a *user-surface*
 #: runtime (one simulated-rank thread per rank on the envelope-routed
 #: mailbox) and never reaches the engine.
 ENGINE_RUNTIMES = ("engine", "procs")
+
+#: What a ``runtime="procs"`` engine does when a worker dies, hangs, or
+#: corrupts its pipe: ``"retry"`` respawns the pool and retries (then
+#: raises), ``"fallback"`` retries and — with retries exhausted — finishes
+#: the round on the single-process fused-kernel path and stays serial,
+#: ``"raise"`` fails fast with no retry.
+ON_FAILURE_POLICIES = ("retry", "fallback", "raise")
 
 
 def default_runtime(allowed: Sequence[str] = ("engine", "threads", "procs"),
@@ -82,6 +95,13 @@ def default_runtime(allowed: Sequence[str] = ("engine", "threads", "procs"),
     names an allowed runtime, ``"engine"`` otherwise."""
     value = os.environ.get(RUNTIME_ENV, "").strip().lower()
     return value if value in allowed else "engine"
+
+
+def default_on_failure() -> str:
+    """The policy an ``on_failure=None`` caller gets: ``REPRO_ON_FAILURE``
+    when it names a known policy, ``"retry"`` otherwise."""
+    value = os.environ.get(ON_FAILURE_ENV, "").strip().lower()
+    return value if value in ON_FAILURE_POLICIES else "retry"
 
 
 @dataclass
@@ -116,11 +136,25 @@ class ExchangeEngine:
     one per available core, capped by ``n_ranks``); ``kernels`` pins a
     specific kernel backend name or :class:`KernelBackend` for the fused
     path (default: the import-time selection).
+
+    Worker failures on the procs backend are supervised: ``on_failure``
+    picks the policy (``"retry"`` — respawn the pool and retry, then raise;
+    ``"fallback"`` — retry, then finish the round on the single-process
+    path and stay serial; ``"raise"`` — fail fast; ``None`` resolves
+    through ``REPRO_ON_FAILURE``, default ``"retry"``), ``timeout`` bounds
+    how long the parent waits for worker acknowledgements
+    (``REPRO_WORKER_TIMEOUT``, default 120 s), ``max_retries`` /
+    ``retry_backoff`` shape the retry schedule, and ``fault_plan`` injects
+    deterministic chaos (:mod:`repro.simmpi.faults`, ``REPRO_FAULTS``).
+    Every supervision decision is recorded in :attr:`events`.
     """
 
     def __init__(self, n_ranks: int, *, profiler: TrafficProfiler | None = None,
                  runtime: str | None = None, n_workers: int | None = None,
-                 kernels=None):
+                 kernels=None, on_failure: str | None = None,
+                 timeout: float | None = None, max_retries: int = 2,
+                 retry_backoff: float = 0.05,
+                 fault_plan: "FaultPlan | None" = None):
         if n_ranks <= 0:
             raise CommunicationError("an exchange engine needs at least one rank")
         if runtime is None:
@@ -130,12 +164,22 @@ class ExchangeEngine:
                 f"engine runtime must be one of {ENGINE_RUNTIMES}, "
                 f"got {runtime!r}"
             )
+        if on_failure is None:
+            on_failure = default_on_failure()
+        if on_failure not in ON_FAILURE_POLICIES:
+            raise ValidationError(
+                f"on_failure must be one of {ON_FAILURE_POLICIES}, "
+                f"got {on_failure!r}"
+            )
         self.n_ranks = int(n_ranks)
         self.profiler = profiler
         self.runtime = runtime
+        self.on_failure = on_failure
         self._programs: List[_RegisteredProgram] = []
         self._closed = False
         self._pool: Optional["ProcsPool"] = None
+        self._pool_failed = False
+        self._events: List["RecoveryEvent"] = []
         self._finalizer = None
         from repro.collectives.kernels import select_backend
 
@@ -149,7 +193,13 @@ class ExchangeEngine:
                 )
             self._pool = ProcsPool(
                 n_workers=int(n_workers) if n_workers is not None
-                else default_worker_count(self.n_ranks))
+                else default_worker_count(self.n_ranks),
+                timeout=timeout,
+                # "raise" means fail fast: the pool gets no retry budget.
+                max_retries=0 if on_failure == "raise" else max_retries,
+                retry_backoff=retry_backoff,
+                fault_plan=fault_plan,
+                events=self._events)
             # The backstop must not keep the engine alive, so it closes the
             # pool object directly (close() is idempotent).
             self._finalizer = weakref.finalize(self, ProcsPool.close,
@@ -166,6 +216,19 @@ class ExchangeEngine:
     def closed(self) -> bool:
         """Whether :meth:`close` has released the engine's resources."""
         return self._closed
+
+    @property
+    def events(self) -> List["RecoveryEvent"]:
+        """The supervision decision trace: every retry, give-up, and fallback
+        recorded as a structured :class:`~repro.simmpi.procs.RecoveryEvent`,
+        in the order they were decided."""
+        return list(self._events)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the procs pool failed permanently and the engine now runs
+        every round on the single-process fused-kernel path."""
+        return self._pool_failed
 
     def close(self) -> None:
         """Release workers and shared-memory segments deterministically.
@@ -215,11 +278,17 @@ class ExchangeEngine:
             phase: np.ascontiguousarray(program.gather[program.wire_perm])
             for phase, program in world.programs.items()
         }
-        if self._pool is not None:
-            shared = self._pool.register(world)
+        shared = None
+        if self._pool is not None and not self._pool_failed:
+            try:
+                shared = self._pool.register(world)
+            except WorkerError as exc:
+                if self.on_failure != "fallback":
+                    raise
+                self._fall_back("register", exc)
+        if shared is not None:
             work = shared.work.array
         else:
-            shared = None
             work = np.zeros((world.n_world_rows, spec.item_size),
                             dtype=spec.dtype)
         self._programs.append(_RegisteredProgram(
@@ -249,22 +318,27 @@ class ExchangeEngine:
         world = state.world
         work = state.work
         work[world.owned_rows] = self._load_values(world, values)
-        if state.shared is not None:
+        if state.shared is not None and not self._pool_failed:
             # The workers advance through the steps behind their barrier;
             # accounting stays here, one bulk record per send step, in the
             # same schedule order as the single-process path.
-            self._pool.run(handle)
-            for kind, phase in world.steps:
-                if kind == "send":
-                    self._account(world.programs[phase])
+            try:
+                self._pool.run(handle)
+            except WorkerError as exc:
+                if self.on_failure != "fallback":
+                    raise
+                # Finish *this* round serially: owned rows are still loaded,
+                # workers only ever write scatter/wire rows, and the serial
+                # schedule rewrites all of them in order — so the
+                # half-written round is discarded byte-exactly.
+                self._fall_back("run", exc)
+                self._run_serial(state)
+            else:
+                for kind, phase in world.steps:
+                    if kind == "send":
+                        self._account(world.programs[phase])
         else:
-            fused = self._kernels.fused
-            for kind, phase in world.steps:
-                program = world.programs[phase]
-                if kind == "send":
-                    self._account(program)
-                elif program.scatter.size:
-                    fused(work, program.scatter, state.fused_sources[phase])
+            self._run_serial(state)
         flat = work[world.result_rows]
         if world.spec.item_size == 1:
             flat = flat.reshape(-1)
@@ -273,6 +347,39 @@ class ExchangeEngine:
                 for rank in range(world.n_ranks)]
 
     # -- helpers --------------------------------------------------------------
+
+    def _run_serial(self, state: _RegisteredProgram) -> None:
+        """One exchange round on the single-process fused-kernel path."""
+        fused = self._kernels.fused
+        work = state.work
+        for kind, phase in state.world.steps:
+            program = state.world.programs[phase]
+            if kind == "send":
+                self._account(program)
+            elif program.scatter.size:
+                fused(work, program.scatter, state.fused_sources[phase])
+
+    def _fall_back(self, command: str, exc: WorkerError) -> None:
+        """Degrade permanently to the single-process path after pool failure.
+
+        Quarantines the pool (stopping any wedged worker that might later
+        wake and scribble on the shared work arrays — the parent-side
+        segments stay alive, so registered programs keep their work views)
+        and records the decision in the event trace.  Every subsequent round
+        of every registered program runs serially.
+        """
+        from repro.simmpi.procs import RecoveryEvent
+
+        self._pool.quarantine()
+        self._pool_failed = True
+        self._events.append(RecoveryEvent(
+            action="fallback", command=command,
+            attempt=self._pool.max_retries,
+            chosen=(f"retries exhausted; quarantined the "
+                    f"{self._pool.n_workers}-worker pool and completed the "
+                    f"{command} on the single-process fused-kernel path "
+                    f"(engine stays serial from here on)"),
+            crashes=exc.crashes))
 
     def _load_values(self, world: "WorldExchange",
                      values: WorldValues) -> np.ndarray:

@@ -1,0 +1,199 @@
+"""Deterministic fault injection for the ``runtime="procs"`` worker pool.
+
+The supervision and recovery machinery of :mod:`repro.simmpi.procs` exists
+for failures — OOM-killed workers, wedged native kernels, dropped pipes —
+that never occur on a healthy laptop.  This module makes them occur *on
+demand and deterministically*: a :class:`FaultPlan` names exactly which
+worker fails, how, at which round/phase, and on which retry attempt, so the
+chaos suite can pin detection latency, recovery, and fallback behaviour
+without ever sleeping on a race.
+
+A plan is a set of :class:`FaultSpec` entries.  Each entry fires at most
+once per matching (round, phase, worker, attempt) coordinate:
+
+* ``kind="crash"`` — the worker SIGKILLs itself (the OOM-killer shape);
+* ``kind="hang"`` — the worker sleeps far past any timeout (wedged kernel);
+* ``kind="pipe_drop"`` — the worker closes its command pipe and exits
+  (orphaned/zombie shape: the parent sees EOF, never an acknowledgement);
+* ``kind="corrupt"`` — the worker answers with garbage bytes instead of a
+  pickled acknowledgement (corrupted wire).
+
+``phase`` places the fault: ``"send"`` / ``"recv"`` fire at the first step
+of that kind inside the chosen exchange round; ``"register"`` fires while
+handling the registration whose handle equals ``round``.  ``attempt``
+selects which delivery attempt fails (default ``0``: the first try fails
+and the respawned pool succeeds — the recovery path); ``attempt=None``
+(spelled ``*`` in the environment form) fires on *every* attempt, which is
+how the retry-exhaustion/fallback path is exercised.
+
+Plans come from the programmatic API (``FaultPlan([...])``, handed to
+:class:`~repro.simmpi.engine.ExchangeEngine` or
+:class:`~repro.simmpi.procs.ProcsPool`) or from the ``REPRO_FAULTS``
+environment variable, whose value is a semicolon-separated list of
+``kind:round:phase:worker[:attempt]`` entries, e.g.::
+
+    REPRO_FAULTS="crash:0:send:1;hang:2:recv:0:*"
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.utils.errors import ValidationError
+
+#: Environment variable holding the textual fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Fault kinds a worker can inject.
+FAULT_KINDS = ("crash", "hang", "pipe_drop", "corrupt")
+
+#: Injection points.  ``"send"``/``"recv"`` are exchange-round steps;
+#: ``"register"`` is program registration (``round`` is then the handle).
+FAULT_PHASES = ("send", "recv", "register")
+
+#: How long a ``"hang"`` fault sleeps — far beyond any sane worker timeout,
+#: so the parent's supervision (not the fault) decides when it is dead.
+HANG_SECONDS = 3600.0
+
+#: Bytes a ``"corrupt"`` fault sends in place of a pickled acknowledgement;
+#: guaranteed to make ``Connection.recv`` raise an unpickling error.
+CORRUPT_WIRE_BYTES = b"repro-corrupted-wire-bytes"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: *worker* fails via *kind* at (*round*,
+    *phase*), on delivery attempt *attempt* (``None`` = every attempt)."""
+
+    kind: str
+    round: int
+    phase: str
+    worker: int
+    attempt: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValidationError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.phase not in FAULT_PHASES:
+            raise ValidationError(
+                f"fault phase must be one of {FAULT_PHASES}, "
+                f"got {self.phase!r}"
+            )
+        if int(self.round) < 0 or int(self.worker) < 0:
+            raise ValidationError(
+                f"fault round and worker must be >= 0, "
+                f"got round={self.round}, worker={self.worker}"
+            )
+
+    def matches(self, *, phase: str, round: int, worker: int,
+                attempt: int) -> bool:
+        """Whether this fault fires at the given coordinate."""
+        return (self.phase == phase and self.round == int(round)
+                and self.worker == int(worker)
+                and (self.attempt is None or self.attempt == int(attempt)))
+
+    def describe(self) -> str:
+        """The environment-variable spelling of this spec."""
+        attempt = "*" if self.attempt is None else str(self.attempt)
+        return f"{self.kind}:{self.round}:{self.phase}:{self.worker}:{attempt}"
+
+
+class FaultPlan:
+    """An ordered collection of :class:`FaultSpec` entries.
+
+    Workers inherit the plan at fork time and consult it at each injection
+    point; an empty plan is represented as ``None`` throughout the runtime
+    so the healthy path pays no lookup cost.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()):
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``kind:round:phase:worker[:attempt]`` list form."""
+        specs = []
+        for entry in text.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            parts = entry.split(":")
+            if len(parts) not in (4, 5):
+                raise ValidationError(
+                    f"fault entry must be kind:round:phase:worker[:attempt], "
+                    f"got {entry!r}"
+                )
+            kind, round_text, phase, worker_text = parts[:4]
+            attempt: Optional[int] = 0
+            if len(parts) == 5:
+                attempt = None if parts[4].strip() == "*" \
+                    else _parse_int(parts[4], entry)
+            specs.append(FaultSpec(
+                kind=kind.strip().lower(),
+                round=_parse_int(round_text, entry),
+                phase=phase.strip().lower(),
+                worker=_parse_int(worker_text, entry),
+                attempt=attempt,
+            ))
+        return cls(specs)
+
+    @classmethod
+    def from_environment(cls) -> Optional["FaultPlan"]:
+        """The plan named by ``REPRO_FAULTS``, or ``None`` when unset/empty."""
+        text = os.environ.get(FAULTS_ENV, "").strip()
+        if not text:
+            return None
+        plan = cls.parse(text)
+        return plan if plan else None
+
+    def match(self, *, phases: Sequence[str], round: int, worker: int,
+              attempt: int) -> Optional[FaultSpec]:
+        """First spec firing at this coordinate for any of ``phases``."""
+        for spec in self.specs:
+            for phase in phases:
+                if spec.matches(phase=phase, round=round, worker=worker,
+                                attempt=attempt):
+                    return spec
+        return None
+
+    def describe(self) -> str:
+        """The environment-variable spelling of the whole plan."""
+        return ";".join(spec.describe() for spec in self.specs)
+
+
+def _parse_int(text: str, entry: str) -> int:
+    try:
+        return int(text.strip())
+    except ValueError:
+        raise ValidationError(
+            f"fault entry field {text!r} is not an integer (in {entry!r})"
+        ) from None
+
+
+def fire(spec: FaultSpec, conn) -> None:  # pragma: no cover - forked child
+    """Execute an injected fault inside a worker process.
+
+    ``"corrupt"`` is *not* handled here — it fires at acknowledgement time
+    (the worker's command loop substitutes :data:`CORRUPT_WIRE_BYTES` for
+    the pickled ack) because the fault is in the wire, not the work.
+    """
+    import signal
+    import time
+
+    if spec.kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif spec.kind == "hang":
+        time.sleep(HANG_SECONDS)
+    elif spec.kind == "pipe_drop":
+        conn.close()
+        os._exit(0)

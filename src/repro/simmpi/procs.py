@@ -35,6 +35,32 @@ and copies results out after all workers report done, so no shared-memory
 view ever escapes to the caller.  Message accounting (the profiler) stays in
 the parent, exactly as on the serial path.
 
+**Supervision.**  The parent collects acknowledgements with one
+``multiprocessing.connection.wait`` over every command pipe *and* every
+process sentinel, so a worker that dies mid-round (OOM kill, segfault,
+``os._exit``) is diagnosed the moment its sentinel fires — not after a
+per-worker poll timeout.  Failures are classified: a dead, wedged, or
+wire-corrupted worker raises :class:`~repro.utils.errors.WorkerError`
+carrying structured :class:`~repro.utils.errors.WorkerCrash` records
+(retryable infrastructure fault); an exception *inside* a worker's program
+raises plain :class:`~repro.utils.errors.CommunicationError` (deterministic
+bug — retrying would only repeat it).  The ack timeout is configurable
+(``timeout=`` here and on the engine, ``REPRO_WORKER_TIMEOUT`` in the
+environment).
+
+**Recovery.**  On a :class:`WorkerError` the pool tears the broken workers
+down (aborting the barrier so survivors blocked in ``Barrier.wait`` exit
+cleanly), respawns the pool, re-registers every retained
+:class:`SharedProgram` from the parent-side segments, and re-dispatches the
+failed command — up to ``max_retries`` times with exponential backoff.  The
+parent reloads owned rows before each round and workers only ever write
+scatter destinations and wire rows, all fully rewritten in schedule order,
+so a half-written round is safely discarded and the retried result is
+byte-identical to the serial engine.  Every decision lands in ``events`` as
+a structured :class:`RecoveryEvent` (the decision-trace idiom).  Fault
+injection for all of this is deterministic:
+:class:`~repro.simmpi.faults.FaultPlan` (``REPRO_FAULTS``).
+
 Lifecycle: workers are daemonic ``fork`` children driven over per-worker
 pipes; :meth:`ProcsPool.close` shuts them down and unlinks every segment
 deterministically (``ExchangeEngine.close`` / context-manager exit calls it,
@@ -44,31 +70,92 @@ with a ``weakref.finalize`` backstop for engines that are simply dropped).
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import time
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from multiprocessing import shared_memory
 from multiprocessing.connection import Connection
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.simmpi.faults import CORRUPT_WIRE_BYTES, FaultPlan, FaultSpec, fire
 from repro.utils.arrays import INDEX_DTYPE, partition_evenly
-from repro.utils.errors import CommunicationError
+from repro.utils.errors import (
+    CommunicationError,
+    ValidationError,
+    WorkerCrash,
+    WorkerError,
+)
+
+#: Environment variable overriding the default worker-acknowledgement timeout.
+TIMEOUT_ENV = "REPRO_WORKER_TIMEOUT"
 
 #: How long the parent waits for a worker to finish one exchange round or
-#: acknowledge a command before declaring the pool wedged.
+#: acknowledge a command before declaring the pool wedged (default; see
+#: ``REPRO_WORKER_TIMEOUT`` and the ``timeout=`` keywords).
 _WORKER_TIMEOUT = 120.0
+
+#: After the first failure is detected, how long the parent keeps draining
+#: the surviving workers' pending acknowledgements (they unblock as soon as
+#: the barrier is aborted) so a recovered pool never reads a stale ack.
+_DRAIN_GRACE = 5.0
+
+
+def default_worker_timeout() -> float:
+    """The ack timeout a ``timeout=None`` caller gets: ``REPRO_WORKER_TIMEOUT``
+    when set (must be a positive number of seconds), 120 s otherwise."""
+    text = os.environ.get(TIMEOUT_ENV, "").strip()
+    if not text:
+        return _WORKER_TIMEOUT
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValidationError(
+            f"{TIMEOUT_ENV} must be a number of seconds, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise ValidationError(
+            f"{TIMEOUT_ENV} must be positive, got {value}"
+        )
+    return value
 
 
 def default_worker_count(n_ranks: int) -> int:
     """Worker-pool size when the caller does not choose: one per core, capped
     by the rank count (a worker owns at least one rank's slab)."""
-    import os
-
     try:
         cores = len(os.sched_getaffinity(0))
     except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
         cores = os.cpu_count() or 1
     return max(1, min(int(n_ranks), cores))
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One supervision decision, recorded in the pool/engine event trace.
+
+    ``action`` names what was decided (``"retry"`` — respawn and re-dispatch;
+    ``"give-up"`` — retries exhausted, error propagated; ``"fallback"`` —
+    engine finished the round on the single-process path); ``command`` is
+    what failed (``"run"`` or ``"register"``), ``attempt`` the 0-based
+    delivery attempt that failed, ``crashes`` the structured per-worker
+    diagnoses, and ``chosen`` the human-readable decision line.
+    """
+
+    action: str
+    command: str
+    attempt: int
+    chosen: str
+    crashes: Tuple[WorkerCrash, ...] = ()
+
+    def describe(self) -> str:
+        """One trace line: what failed, what was chosen."""
+        failed = "; ".join(crash.describe() for crash in self.crashes) \
+            or "no worker diagnosis"
+        return (f"[{self.action}] {self.command} attempt {self.attempt} "
+                f"failed ({failed}) -> {self.chosen}")
 
 
 class SharedBlock:
@@ -145,7 +232,9 @@ class SharedProgram:
 
     ``work.array`` is the parent's view of the world work array — the engine
     loads owned values into it before a round and fancy-index-copies results
-    out after, so callers only ever see private copies.
+    out after, so callers only ever see private copies.  The segments outlive
+    any one worker generation: after a crash the respawned pool re-attaches
+    to exactly these blocks (:meth:`ProcsPool._respawn`).
     """
 
     work: SharedBlock
@@ -232,13 +321,22 @@ def _attach_program(descriptor: dict) -> dict:  # pragma: no cover - forked chil
     return views
 
 
-def _run_round(program: dict, worker_id: int, barrier) -> None:  # pragma: no cover
-    """Execute one exchange round's steps for this worker's slab."""
+def _run_round(program: dict, worker_id: int, barrier,
+               conn, fault: Optional[FaultSpec]) -> None:  # pragma: no cover
+    """Execute one exchange round's steps for this worker's slab.
+
+    ``fault`` (chaos testing only) fires at the first step whose kind matches
+    the spec's phase — *inside* the round, peers already committed to their
+    barrier waits, exactly where a real OOM kill or wedge lands.
+    """
     from repro.collectives.kernels import active_backend
 
     kernels = active_backend()
     work = program["work"].array
     for kind, phase in program["steps"]:
+        if fault is not None and fault.phase == kind:
+            fire(fault, conn)
+            fault = None  # a "hang" fault eventually returns; fire once
         views = program["phases"][phase]
         if kind == "send":
             lo = views["gather_bounds"][worker_id]
@@ -257,9 +355,27 @@ def _run_round(program: dict, worker_id: int, barrier) -> None:  # pragma: no co
         barrier.wait()
 
 
-def _worker_main(worker_id: int, conn: Connection,
-                 barrier) -> None:  # pragma: no cover - forked child
-    """Worker loop: register programs, run rounds, exit on close."""
+def _safe_send(conn: Connection, payload) -> bool:  # pragma: no cover - forked child
+    """Send an acknowledgement, tolerating a parent that is already gone.
+
+    A worker whose parent died (or closed the pipe) must exit its loop
+    instead of raising into a retry spin — the orphan-hygiene guarantee.
+    """
+    try:
+        conn.send(payload)
+        return True
+    except (BrokenPipeError, OSError):
+        return False
+
+
+def _worker_main(worker_id: int, conn: Connection, barrier,
+                 fault_plan: Optional[FaultPlan]) -> None:  # pragma: no cover - forked child
+    """Worker loop: register programs, run rounds, exit on close.
+
+    Every command carries the delivery coordinate (round/handle, attempt)
+    the fault plan is consulted with; a healthy run never pays more than a
+    ``None`` check.
+    """
     import threading
 
     programs: Dict[int, dict] = {}
@@ -269,20 +385,45 @@ def _worker_main(worker_id: int, conn: Connection,
             kind = command[0]
             if kind == "close":
                 break
+            corrupt_ack = False
             try:
                 if kind == "register":
-                    descriptor = command[1]
+                    descriptor, attempt = command[1], command[2]
+                    fault = fault_plan.match(
+                        phases=("register",), round=descriptor["handle"],
+                        worker=worker_id, attempt=attempt,
+                    ) if fault_plan else None
+                    if fault is not None:
+                        if fault.kind == "corrupt":
+                            corrupt_ack = True
+                        else:
+                            fire(fault, conn)
                     programs[descriptor["handle"]] = \
                         _attach_program(descriptor)
                 elif kind == "run":
-                    _run_round(programs[command[1]], worker_id, barrier)
-                conn.send((worker_id, None))
+                    handle, round_index, attempt = command[1:4]
+                    fault = fault_plan.match(
+                        phases=("send", "recv"), round=round_index,
+                        worker=worker_id, attempt=attempt,
+                    ) if fault_plan else None
+                    if fault is not None and fault.kind == "corrupt":
+                        corrupt_ack, fault = True, None
+                    _run_round(programs[handle], worker_id, barrier, conn,
+                               fault)
+                if corrupt_ack:
+                    conn.send_bytes(CORRUPT_WIRE_BYTES)
+                elif not _safe_send(conn, (worker_id, None)):
+                    break
             except threading.BrokenBarrierError:
-                conn.send((worker_id, "barrier broken by a peer worker"))
+                if not _safe_send(conn, (worker_id,
+                                         "barrier broken by a peer worker")):
+                    break
             except Exception as exc:
                 barrier.abort()
-                conn.send((worker_id, f"{type(exc).__name__}: {exc}"))
-    except (EOFError, KeyboardInterrupt):
+                if not _safe_send(conn, (worker_id,
+                                         f"{type(exc).__name__}: {exc}")):
+                    break
+    except (EOFError, OSError, KeyboardInterrupt):
         pass
     finally:
         for program in programs.values():
@@ -290,7 +431,10 @@ def _worker_main(worker_id: int, conn: Connection,
                 for key in ("gather", "scatter", "wire_perm", "wire"):
                     views[key].close()
             program["work"].close()
-        conn.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
 
 
 # -- the parent side ---------------------------------------------------------------
@@ -298,19 +442,49 @@ def _worker_main(worker_id: int, conn: Connection,
 
 @dataclass
 class ProcsPool:
-    """A persistent pool of slab workers plus their shared programs.
+    """A persistent, supervised pool of slab workers plus their shared programs.
 
     One pool per ``runtime="procs"`` engine.  The workers are forked lazily at
     the first :meth:`register` (so an engine that never registers anything
-    never forks) and live until :meth:`close`.
+    never forks) and live until :meth:`close` — or until one of them dies,
+    in which case the pool respawns them and retries (``max_retries`` times,
+    exponential ``retry_backoff`` between attempts) before letting the
+    :class:`~repro.utils.errors.WorkerError` escape to the engine's
+    ``on_failure`` policy.  ``events`` accumulates one
+    :class:`RecoveryEvent` per supervision decision.
     """
 
     n_workers: int
+    timeout: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    fault_plan: Optional[FaultPlan] = None
+    events: Optional[List[RecoveryEvent]] = None
     _processes: List[mp.Process] = field(default_factory=list)
     _connections: List[Connection] = field(default_factory=list)
     _barrier: Optional[object] = None
     _programs: List[SharedProgram] = field(default_factory=list)
+    _round: int = 0
+    _broken: bool = False
     _closed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout is None:
+            self.timeout = default_worker_timeout()
+        self.timeout = float(self.timeout)
+        if self.timeout <= 0:
+            raise ValidationError(
+                f"worker timeout must be positive, got {self.timeout}"
+            )
+        if int(self.max_retries) < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        self.max_retries = int(self.max_retries)
+        if self.fault_plan is None:
+            self.fault_plan = FaultPlan.from_environment()
+        if self.events is None:
+            self.events = []
 
     @property
     def started(self) -> bool:
@@ -334,7 +508,7 @@ class ProcsPool:
             parent_conn, child_conn = context.Pipe(duplex=True)
             process = context.Process(
                 target=_worker_main,
-                args=(worker_id, child_conn, self._barrier),
+                args=(worker_id, child_conn, self._barrier, self.fault_plan),
                 daemon=True,
                 name=f"repro-exchange-worker-{worker_id}",
             )
@@ -342,66 +516,278 @@ class ProcsPool:
             child_conn.close()
             self._processes.append(process)
             self._connections.append(parent_conn)
+        self._broken = False
+
+    # -- supervision ---------------------------------------------------------------
+
+    def _abort_barrier(self) -> None:
+        """Wake every worker blocked in ``Barrier.wait`` (idempotent)."""
+        if self._barrier is not None:
+            self._barrier.abort()
+
+    def _crash(self, worker_id: int, what: str, detail: str) -> WorkerCrash:
+        process = self._processes[worker_id]
+        process.join(timeout=0.2)  # reap, and settle the exit code
+        return WorkerCrash(worker_id=worker_id, exitcode=process.exitcode,
+                           command=what, detail=detail)
 
     def _collect(self, what: str) -> None:
-        """Wait for every worker's acknowledgement; surface the first error."""
-        errors: List[str] = []
-        for worker_id, conn in enumerate(self._connections):
-            if not conn.poll(_WORKER_TIMEOUT):
-                raise CommunicationError(
-                    f"procs worker {worker_id} did not answer a {what} "
-                    f"command within {_WORKER_TIMEOUT:.0f}s"
-                )
-            _, error = conn.recv()
-            if error is not None:
-                errors.append(f"worker {worker_id}: {error}")
-        if errors:
+        """Wait for every worker's acknowledgement; diagnose failures.
+
+        One ``connection.wait`` over all command pipes *and* process
+        sentinels: a dead worker surfaces the instant its sentinel fires.
+        After the first failure the barrier is aborted (unblocking peers
+        committed to ``Barrier.wait``) and the survivors' pending acks are
+        drained for a short grace period, so a pool that outlives the error
+        never reads a stale acknowledgement on its next command.
+        """
+        pending: Dict[int, Tuple[mp.Process, Connection]] = {
+            worker_id: (process, conn)
+            for worker_id, (process, conn)
+            in enumerate(zip(self._processes, self._connections))
+        }
+        crashes: List[WorkerCrash] = []
+        soft_errors: List[str] = []
+        deadline = time.monotonic() + self.timeout
+        drain_deadline: Optional[float] = None
+
+        def start_draining() -> None:
+            nonlocal drain_deadline
+            if drain_deadline is None:
+                self._abort_barrier()
+                drain_deadline = time.monotonic() + min(self.timeout,
+                                                        _DRAIN_GRACE)
+
+        while pending:
+            now = time.monotonic()
+            limit = drain_deadline if drain_deadline is not None else deadline
+            if now >= limit:
+                if drain_deadline is not None:
+                    # Grace exhausted: whoever still has not answered is
+                    # genuinely wedged, not merely barrier-blocked.
+                    for worker_id in sorted(pending):
+                        crashes.append(self._crash(
+                            worker_id, what,
+                            f"no acknowledgement within the "
+                            f"{min(self.timeout, _DRAIN_GRACE):.1f}s drain "
+                            f"grace after the barrier was aborted"))
+                    pending.clear()
+                    break
+                # Primary timeout: abort the barrier and give the workers
+                # one short grace to distinguish wedged from barrier-blocked.
+                start_draining()
+                continue
+            by_object = {}
+            for worker_id, (process, conn) in pending.items():
+                by_object[conn] = worker_id
+                by_object[process.sentinel] = worker_id
+            ready = mp_connection.wait(list(by_object), timeout=limit - now)
+            for worker_id in sorted({by_object[obj] for obj in ready}):
+                process, conn = pending[worker_id]
+                # Prefer the pipe: a worker may have answered and *then*
+                # died; its ack is still the truth about this command.
+                if conn.poll(0):
+                    try:
+                        _, error = conn.recv()
+                    except (EOFError, OSError):
+                        crashes.append(self._crash(
+                            worker_id, what,
+                            "command pipe closed before acknowledgement"))
+                    except Exception as exc:  # corrupted wire bytes
+                        crashes.append(self._crash(
+                            worker_id, what,
+                            f"unreadable acknowledgement "
+                            f"({type(exc).__name__}: {exc})"))
+                    else:
+                        if error is not None:
+                            soft_errors.append(
+                                f"worker {worker_id}: {error}")
+                    del pending[worker_id]
+                elif not process.is_alive():
+                    crashes.append(self._crash(
+                        worker_id, what, "worker process died"))
+                    del pending[worker_id]
+            if crashes or soft_errors:
+                start_draining()
+
+        if crashes:
+            self._broken = True
+            message = (f"procs {what} failed: "
+                       + "; ".join(crash.describe() for crash in crashes))
+            if soft_errors:
+                message += " (peers: " + "; ".join(soft_errors) + ")"
+            raise WorkerError(message, crashes=tuple(crashes))
+        if soft_errors:
+            # A program error inside a worker: deterministic, not retryable.
+            # The barrier was aborted to unblock peers; restore it so the
+            # pool stays usable for the caller's next (corrected) command.
+            real = [error for error in soft_errors
+                    if "barrier broken by a peer worker" not in error]
             self._barrier.reset()
             raise CommunicationError(
-                f"procs {what} failed: " + "; ".join(errors)
+                f"procs {what} failed: " + "; ".join(real or soft_errors)
             )
+
+    def _dispatch(self, command: tuple, what: str) -> None:
+        """Send one command to every worker; a dead pipe is a crash."""
+        crashes: List[WorkerCrash] = []
+        for worker_id, conn in enumerate(self._connections):
+            try:
+                conn.send(command)
+            except (BrokenPipeError, OSError):
+                crashes.append(self._crash(
+                    worker_id, what,
+                    "command pipe broken before dispatch"))
+        if crashes:
+            self._broken = True
+            self._abort_barrier()
+            raise WorkerError(
+                f"procs {what} dispatch failed: "
+                + "; ".join(crash.describe() for crash in crashes),
+                crashes=tuple(crashes))
+
+    # -- recovery ------------------------------------------------------------------
+
+    def _record(self, action: str, what: str, attempt: int, chosen: str,
+                exc: WorkerError) -> None:
+        self.events.append(RecoveryEvent(
+            action=action, command=what, attempt=attempt, chosen=chosen,
+            crashes=exc.crashes))
+
+    def _teardown_workers(self, *, graceful: bool) -> None:
+        """Stop the current worker generation, keeping the shared programs.
+
+        Aborts the barrier *first* so a worker blocked in ``Barrier.wait``
+        (its peer died mid-round) wakes up and reads the close command
+        instead of deadlocking the join.
+        """
+        self._abort_barrier()
+        if graceful:
+            for conn in self._connections:
+                try:
+                    conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
+        join_timeout = 10.0 if graceful else 0.5
+        for process in self._processes:
+            process.join(timeout=join_timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=10.0)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join(timeout=10.0)
+            process.close()
+        for conn in self._connections:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._processes.clear()
+        self._connections.clear()
+        self._barrier = None
+
+    def _respawn(self, attempt: int) -> None:
+        """Replace a broken worker generation and restore its state.
+
+        Re-registers every retained :class:`SharedProgram` from the
+        parent-side segments (which survive worker death) so the new workers
+        see exactly the handles the old ones did.
+        """
+        self._teardown_workers(graceful=False)
+        self._ensure_started()
+        for handle, program in enumerate(self._programs):
+            self._dispatch(("register", program.descriptor(handle), attempt),
+                           "register")
+            self._collect("register")
+
+    def quarantine(self) -> None:
+        """Stop the workers but keep every shared segment alive.
+
+        The engine calls this before falling back to the single-process
+        path: a wedged worker that later wakes must not scribble on the
+        work array while the serial kernels are using it.  The pool stays
+        un-closed so :meth:`close` still unlinks the segments.
+        """
+        if self._closed:
+            return
+        self._teardown_workers(graceful=False)
+        self._broken = True
+
+    def _retry_loop(self, what: str, dispatch) -> None:
+        """Run ``dispatch()`` with supervised retry + backoff + respawn."""
+        attempt = 0
+        while True:
+            try:
+                if self._broken and self._programs:
+                    self._respawn(attempt)
+                    if what == "register":
+                        # The respawn re-registered every retained program —
+                        # including the one this call appended — so the
+                        # failed registration is already redone.
+                        return
+                self._ensure_started()
+                dispatch(attempt)
+                return
+            except WorkerError as exc:
+                if attempt >= self.max_retries:
+                    self._record(
+                        "give-up", what, attempt,
+                        f"retries exhausted after {attempt + 1} attempt(s); "
+                        f"raising to the engine's on_failure policy", exc)
+                    raise
+                backoff = self.retry_backoff * (2 ** attempt)
+                self._record(
+                    "retry", what, attempt,
+                    f"respawning {self.n_workers} worker(s) and retrying "
+                    f"after {backoff:.2f}s backoff "
+                    f"(attempt {attempt + 2}/{self.max_retries + 1})", exc)
+                time.sleep(backoff)
+                attempt += 1
+
+    # -- commands ------------------------------------------------------------------
 
     def register(self, world) -> SharedProgram:
         """Share a compiled world exchange and hand it to every worker."""
         if self._closed:
             raise CommunicationError("exchange engine is closed")
-        self._ensure_started()
         program = share_program(world, self.n_workers)
         self._programs.append(program)
         descriptor = program.descriptor(len(self._programs) - 1)
-        for conn in self._connections:
-            conn.send(("register", descriptor))
-        self._collect("register")
+
+        def dispatch(attempt: int) -> None:
+            self._dispatch(("register", descriptor, attempt), "register")
+            self._collect("register")
+
+        try:
+            self._retry_loop("register", dispatch)
+        except Exception:
+            # Registration never took: drop the segments immediately rather
+            # than carrying a half-registered program to the next respawn.
+            self._programs.pop()
+            program.close()
+            raise
         return program
 
     def run(self, handle: int) -> None:
         """Execute one exchange round across all workers (blocking)."""
         if self._closed:
             raise CommunicationError("exchange engine is closed")
-        for conn in self._connections:
-            conn.send(("run", handle))
-        self._collect("run")
+        round_index = self._round
+        self._round += 1
+
+        def dispatch(attempt: int) -> None:
+            self._dispatch(("run", handle, round_index, attempt), "run")
+            self._collect("run")
+
+        self._retry_loop("run", dispatch)
 
     def close(self) -> None:
         """Shut the workers down and release every shared segment."""
         if self._closed:
             return
         self._closed = True
-        for conn in self._connections:
-            try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
-        for process in self._processes:
-            process.join(timeout=10.0)
-            if process.is_alive():  # pragma: no cover - wedged worker
-                process.terminate()
-                process.join(timeout=10.0)
-            process.close()
-        for conn in self._connections:
-            conn.close()
-        self._processes.clear()
-        self._connections.clear()
+        self._teardown_workers(graceful=True)
         for program in self._programs:
             program.close()
         self._programs.clear()

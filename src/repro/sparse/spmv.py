@@ -207,7 +207,8 @@ class WorldSpMV:
                  engine: ExchangeEngine | None = None,
                  profiler: TrafficProfiler | None = None,
                  runtime: str | None = None,
-                 n_workers: int | None = None):
+                 n_workers: int | None = None,
+                 on_failure: str | None = None):
         check_mapping_covers(mapping, matrix.n_ranks)
         self.matrix = matrix
         self.mapping = mapping
@@ -216,7 +217,7 @@ class WorldSpMV:
         self.collective = neighbor_alltoallv_init_world(
             pattern, mapping, variant=variant, strategy=strategy,
             engine=engine, profiler=profiler, runtime=runtime,
-            n_workers=n_workers)
+            n_workers=n_workers, on_failure=on_failure)
         self.blocks = [matrix.local_blocks(rank) for rank in range(self.n_ranks)]
         # Per-rank index arrays, exactly as in DistributedSpMV: local-vector
         # positions of the owned exchange input, and offd-column positions of
@@ -345,7 +346,8 @@ class WorldRectSpMV:
                  engine: ExchangeEngine | None = None,
                  profiler: TrafficProfiler | None = None,
                  runtime: str | None = None,
-                 n_workers: int | None = None):
+                 n_workers: int | None = None,
+                 on_failure: str | None = None):
         check_mapping_covers(mapping, matrix.n_ranks)
         self.matrix = matrix
         self.mapping = mapping
@@ -354,7 +356,7 @@ class WorldRectSpMV:
         self.collective = neighbor_alltoallv_init_world(
             pattern, mapping, variant=variant, strategy=strategy,
             engine=engine, profiler=profiler, runtime=runtime,
-            n_workers=n_workers)
+            n_workers=n_workers, on_failure=on_failure)
         self.blocks = [matrix.local_blocks(rank) for rank in range(self.n_ranks)]
         self._owned_positions, self._halo_positions = _world_positions(
             self.collective, self.blocks, lambda blocks: blocks.col_range[0])
