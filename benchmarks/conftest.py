@@ -72,9 +72,22 @@ def emit_bench(name: str, *, speedup: float, baseline_s: float,
     wall-clock gate records what it compared (best-of-N seconds for the
     baseline and the optimized path), the measured speedup, the simulated
     rank count, and the git revision — so CI can archive per-commit perf
-    trajectories instead of scraping test output.  ``extra`` lands verbatim
-    in the payload for gate-specific fields (worker counts, message counts).
+    trajectories instead of scraping test output.  Every payload also
+    records the execution environment that produced the numbers — the
+    default engine ``runtime``, its worker count, and the active kernel
+    backend — so trajectories across commits compare like with like.
+    ``extra`` lands verbatim in the payload for gate-specific fields
+    (message counts, per-size timings) and may override the environment
+    fields when a bench pins its own runtime.
     """
+    from repro.collectives.kernels import active_backend
+    from repro.simmpi.engine import default_runtime
+    from repro.simmpi.procs import default_worker_count
+
+    runtime = extra.pop("runtime", default_runtime())
+    n_workers = extra.pop(
+        "n_workers",
+        default_worker_count(int(n_ranks)) if runtime == "procs" else 1)
     payload = {
         "bench": name,
         "speedup": round(float(speedup), 3),
@@ -82,6 +95,9 @@ def emit_bench(name: str, *, speedup: float, baseline_s: float,
         "optimized_s": float(optimized_s),
         "n_ranks": int(n_ranks),
         "git_rev": _git_revision(),
+        "runtime": str(runtime),
+        "n_workers": int(n_workers),
+        "kernels": active_backend().name,
         **extra,
     }
     os.makedirs(RESULTS_DIR, exist_ok=True)

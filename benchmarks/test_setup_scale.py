@@ -1,0 +1,134 @@
+"""Setup-phase weak scaling: world-level compilation gated at 16k ranks.
+
+The figure benchmarks measure *modeled* communication; the iteration-path
+microbenchmarks measure the exchange loop.  What neither covers is the setup
+phase itself — planning a collective and compiling it into one batched world
+program — whose seed implementation looped over every simulated rank and
+therefore scaled as O(ranks x messages).  These gates pin the world-level
+compiler (:func:`repro.collectives.exchange.compile_world_exchange`) and the
+content-addressed plan cache (:mod:`repro.collectives.plan_cache`) at the
+scales the paper's largest runs need:
+
+* full setup (halo pattern -> partial plan -> world program) at 4096, 8192,
+  and 16384 simulated ranks, with the 16384-rank point under a hard CI time
+  gate;
+* the production compiler >= 5x the pinned per-rank reference at 4096 ranks;
+* a warm plan-cache driver re-run >= 3x faster than cold, byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import emit_bench
+
+from repro.collectives import Variant, make_plan
+from repro.collectives.exchange import (compile_world_exchange,
+                                        compile_world_exchange_reference)
+from repro.collectives.plan_cache import clear_plan_cache, plan_cache_stats
+from repro.pattern.builders import halo_exchange_pattern
+from repro.topology import paper_mapping
+
+#: Halo grids whose rank counts trace the paper's weak-scaling sweep.
+SETUP_GRIDS = {4096: (64, 64), 8192: (128, 64), 16384: (128, 128)}
+
+#: Wall-clock budget for the largest setup point (seconds).  The measured
+#: time is ~10s on the CI machine class; the gate leaves headroom for noisy
+#: shared runners while still catching any return of the per-rank loop,
+#: which takes minutes at this scale.
+GATE_16K_SECONDS = 60.0
+
+
+def _full_setup(n_ranks: int):
+    """One cold setup: halo pattern -> partial plan -> batched world program."""
+    pattern = halo_exchange_pattern(SETUP_GRIDS[n_ranks])
+    mapping = paper_mapping(n_ranks, ranks_per_node=16)
+    plan = make_plan(pattern, mapping, Variant.PARTIAL, use_cache=False)
+    return plan, compile_world_exchange(plan)
+
+
+def test_bench_setup_scale_to_16k_ranks():
+    """Perf gate: world-level setup holds at 16k ranks and beats the seed >= 5x.
+
+    Times the full cold setup at every grid in :data:`SETUP_GRIDS` (cache
+    disabled, so this is pure compilation cost) and, at 4096 ranks, the
+    pinned per-rank reference compiler on the identical plan.  The reference
+    is run once at the smallest scale only — it is the O(ranks x messages)
+    seed path and already takes ~10s there.
+    """
+    setup_seconds = {}
+    plans = {}
+    for n_ranks in sorted(SETUP_GRIDS):
+        start = time.perf_counter()
+        plan, world = _full_setup(n_ranks)
+        setup_seconds[n_ranks] = time.perf_counter() - start
+        plans[n_ranks] = plan
+        assert world.n_messages > 0
+        del world
+
+    start = time.perf_counter()
+    reference_world = compile_world_exchange_reference(plans[4096])
+    reference_4096 = time.perf_counter() - start
+    assert reference_world.n_messages > 0
+    del reference_world
+
+    start = time.perf_counter()
+    fast_world = compile_world_exchange(plans[4096])
+    fast_4096 = time.perf_counter() - start
+    assert fast_world.n_messages > 0
+    speedup = reference_4096 / fast_4096
+
+    table = ", ".join(f"{n}: {s:.2f}s" for n, s in sorted(setup_seconds.items()))
+    print(f"\nworld setup ({table}); 4096-rank world compile: "
+          f"reference {reference_4096:.2f}s, world-pass {fast_4096:.2f}s, "
+          f"speedup {speedup:.1f}x")
+    emit_bench("setup_scale", speedup=speedup, baseline_s=reference_4096,
+               optimized_s=fast_4096, n_ranks=max(SETUP_GRIDS),
+               setup_seconds={str(n): round(s, 3)
+                              for n, s in sorted(setup_seconds.items())},
+               gate_seconds=GATE_16K_SECONDS)
+    assert setup_seconds[16384] <= GATE_16K_SECONDS, \
+        f"16k-rank setup took {setup_seconds[16384]:.1f}s " \
+        f"(gate {GATE_16K_SECONDS:.0f}s)"
+    assert speedup >= 5.0, \
+        f"expected >= 5x over per-rank reference, measured {speedup:.1f}x"
+
+
+def test_bench_plan_cache_warm_rerun():
+    """Perf gate: a warm plan-cache driver re-run is >= 3x faster than cold.
+
+    Runs the Figure 13 weak-scaling driver twice at two mid-sized scale
+    points.  The first (cold) run compiles and caches every level's plans;
+    the second re-run must be served from the content-addressed cache and
+    the driver's hierarchy memo, and must produce byte-identical protocol
+    times — the cache may only change *when* work happens, never the answer.
+    """
+    from repro.experiments.scaling import _weak_setup, run_weak_scaling
+
+    clear_plan_cache()
+    _weak_setup.cache_clear()
+
+    start = time.perf_counter()
+    cold_result = run_weak_scaling(process_counts=[256, 1024], rows_per_rank=8)
+    cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_result = run_weak_scaling(process_counts=[256, 1024], rows_per_rank=8)
+    warm = time.perf_counter() - start
+
+    stats = plan_cache_stats()
+    speedup = cold / warm
+    print(f"\nweak-scaling driver: cold {cold:.2f}s, warm {warm:.2f}s, "
+          f"speedup {speedup:.1f}x "
+          f"(plan cache hits {stats['plan_memory_hits']})")
+    emit_bench("plan_cache_warm", speedup=speedup, baseline_s=cold,
+               optimized_s=warm, n_ranks=1024,
+               plan_memory_hits=stats["plan_memory_hits"],
+               plan_memory_misses=stats["plan_memory_misses"])
+    assert warm_result.times == cold_result.times, \
+        "warm re-run must be byte-identical to the cold run"
+    assert stats["plan_memory_hits"] > 0, "warm run never hit the plan cache"
+    assert speedup >= 3.0, \
+        f"expected >= 3x warm-over-cold, measured {speedup:.1f}x"

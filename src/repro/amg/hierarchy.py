@@ -137,12 +137,12 @@ class AMGHierarchy:
 def _coarse_partition(fine_partition: RowPartition,
                       splitting: SplittingResult) -> RowPartition:
     """Partition of the coarse grid induced by fine-grid ownership."""
-    sizes = []
     is_coarse = splitting.splitting == CPOINT
-    for rank in fine_partition.iter_ranks():
-        first, last = fine_partition.row_range(rank)
-        sizes.append(int(np.count_nonzero(is_coarse[first:last])))
-    return RowPartition.from_sizes(sizes)
+    # Coarse points per rank = difference of the C-point prefix sum at the
+    # fine partition boundaries — one pass regardless of rank count.
+    prefix = np.zeros(is_coarse.size + 1, dtype=np.int64)
+    np.cumsum(is_coarse, out=prefix[1:])
+    return RowPartition.from_sizes(np.diff(prefix[fine_partition.offsets]))
 
 
 def redistribute_hierarchy(hierarchy: AMGHierarchy, n_ranks: int) -> AMGHierarchy:

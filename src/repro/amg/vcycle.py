@@ -444,11 +444,11 @@ class WorldVCycle:
             return np.zeros(self._coarse_partition.n_rows, dtype=np.float64)
         full = np.empty(self._coarse_partition.n_rows, dtype=np.float64)
         if self._coarse_collective is not None:
-            offsets = self._coarse_partition.offsets
-            values = [b[offsets[rank]:offsets[rank + 1]]
-                      [self._coarse_collective.owned_item_ids(rank)
-                       - offsets[rank]]
-                      for rank in range(self.n_ranks)]
+            # Owned item ids are global coarse rows, so every rank's input
+            # slice is one gather from the concatenated world columns.
+            world = self._coarse_collective.world
+            values = np.split(b[world.owned_items_all],
+                              world.owned_offsets[1:-1])
             halos = self._coarse_collective.exchange(values)
             full[self._coarse_collective.recv_item_ids(0)] = halos[0]
         full[self._coarse_partition.rows_of(0)] = b[self._coarse_partition.rows_of(0)]

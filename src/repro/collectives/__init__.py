@@ -52,6 +52,12 @@ from repro.collectives.exchange import (
     WorldPhaseProgram,
     compile_exchange,
     compile_world_exchange,
+    compile_world_exchange_reference,
+)
+from repro.collectives.plan_cache import (
+    PlanCacheWarning,
+    clear_plan_cache,
+    plan_cache_stats,
 )
 from repro.collectives.kernels import (
     HAVE_NUMBA,
@@ -106,6 +112,10 @@ __all__ = [
     "WorldPhaseProgram",
     "compile_exchange",
     "compile_world_exchange",
+    "compile_world_exchange_reference",
+    "PlanCacheWarning",
+    "clear_plan_cache",
+    "plan_cache_stats",
     "HAVE_NUMBA",
     "KERNELS_ENV",
     "KernelBackend",

@@ -48,6 +48,7 @@ from repro.utils.arrays import (
     INDEX_DTYPE,
     concatenate_or_empty,
     counts_to_displs,
+    gather_ranges,
     run_starts_mask,
 )
 from repro.utils.errors import PlanError, ValidationError
@@ -408,6 +409,15 @@ class WorldExchange:
     those concatenations.  ``steps`` is the runtime schedule: ``("send", p)``
     packs phase ``p``'s wire, ``("recv", p)`` delivers it — the same order the
     per-rank executor interleaves its ``pack``/``start``/``wait`` calls.
+
+    The per-rank item metadata is stored columnar: ``owned_items_all`` /
+    ``result_items_all`` / ``result_sources_all`` concatenate every rank's
+    owned-input and result-output id columns, delimited by ``owned_offsets``
+    and ``result_offsets`` — the accessors below slice them.  ``compiled``
+    (the per-rank :class:`CompiledExchange` list) is only populated by the
+    pinned reference compiler; the world-level pass never materialises it,
+    which also keeps a :class:`WorldExchange` free of plan-object references
+    and therefore cheap to pickle for the on-disk plan cache.
     """
 
     variant: Variant
@@ -421,7 +431,10 @@ class WorldExchange:
     result_offsets: np.ndarray
     steps: Tuple[Tuple[str, Phase], ...]
     programs: Dict[Phase, WorldPhaseProgram]
-    compiled: List[CompiledExchange]
+    owned_items_all: np.ndarray
+    result_items_all: np.ndarray
+    result_sources_all: np.ndarray
+    compiled: List[CompiledExchange] | None = None
 
     @property
     def n_messages(self) -> int:
@@ -430,28 +443,38 @@ class WorldExchange:
 
     def owned_item_ids(self, rank: int) -> np.ndarray:
         """Item ids of ``rank``'s dense input, in input order (ascending)."""
-        return self.compiled[rank].owned_items
+        return self.owned_items_all[
+            self.owned_offsets[rank]:self.owned_offsets[rank + 1]]
 
     def recv_item_ids(self, rank: int) -> np.ndarray:
         """Item ids of ``rank``'s dense output, in output order (ascending)."""
-        return self.compiled[rank].result_items
+        return self.result_items_all[
+            self.result_offsets[rank]:self.result_offsets[rank + 1]]
 
     def recv_item_sources(self, rank: int) -> np.ndarray:
         """Owning rank of every entry of ``recv_item_ids(rank)``."""
-        return self.compiled[rank].result_sources
+        return self.result_sources_all[
+            self.result_offsets[rank]:self.result_offsets[rank + 1]]
 
 
-def compile_world_exchange(plan: CollectivePlan,
-                           spec: ExchangeSpec | None = None) -> WorldExchange:
+def compile_world_exchange_reference(plan: CollectivePlan,
+                                     spec: ExchangeSpec | None = None
+                                     ) -> WorldExchange:
     """Compile all ranks' shares of ``plan`` into one batched world program.
 
-    Every rank is compiled with :func:`compile_exchange` (so the world program
+    Pinned per-rank reference per the repo's golden-equivalence convention:
+    every rank is compiled with :func:`compile_exchange` (so the world program
     is the per-rank programs, verbatim, re-based into one row space), then each
     phase's messages are matched sender-to-receiver: the ``k``-th send from
     ``src`` to ``dest`` in ``src``'s message order pairs with the ``k``-th
     receive from ``src`` in ``dest``'s order — the same FIFO matching the
     mailbox fabric performs — and the pairing becomes the phase's static
     ``wire_perm``.  ``spec`` defaults to the pattern's dtype/item_size.
+
+    This walks a Python loop over ranks (and scans the phase message lists
+    once per rank), which is O(ranks × messages); the production
+    :func:`compile_world_exchange` emits identical arrays with one world-level
+    pass and is what every caller should use.
     """
     if spec is None:
         spec = ExchangeSpec(dtype=plan.pattern.dtype,
@@ -554,5 +577,289 @@ def compile_world_exchange(plan: CollectivePlan,
         result_offsets=result_offsets,
         steps=schedule,
         programs=programs,
+        owned_items_all=concatenate_or_empty(
+            [c.owned_items for c in compiled]),
+        result_items_all=concatenate_or_empty(
+            [c.result_items for c in compiled]),
+        result_sources_all=concatenate_or_empty(
+            [c.result_sources for c in compiled]),
         compiled=compiled,
+    )
+
+
+def _phase_message_columns(messages: Sequence[PlannedMessage]):
+    """Columnar form of one phase's message list (one O(messages) pass).
+
+    Returns ``(srcs, dests, counts, offsets, pay_origins, pay_items,
+    send_order, recv_order)``: endpoint/count columns in plan list order, the
+    concatenated payload key columns, and the stable message permutations that
+    sort the list by sender (the wire layout) and by receiver (the scatter
+    layout).  Stability is what preserves each rank's per-message order, so
+    sender-side position ``k`` still pairs with receiver-side position ``k``
+    of the same ``(src, dest)`` stream — the FIFO matching of the fabric.
+    """
+    n = len(messages)
+    srcs = np.fromiter((m.src for m in messages), dtype=INDEX_DTYPE, count=n)
+    dests = np.fromiter((m.dest for m in messages), dtype=INDEX_DTYPE, count=n)
+    counts = np.fromiter((m.payload_origins.size for m in messages),
+                         dtype=INDEX_DTYPE, count=n)
+    offsets = counts_to_displs(counts)
+    pay_origins = concatenate_or_empty([m.payload_origins for m in messages])
+    pay_items = concatenate_or_empty([m.payload_items for m in messages])
+    send_order = np.argsort(srcs, kind="stable")
+    recv_order = np.argsort(dests, kind="stable")
+    return (srcs, dests, counts, offsets, pay_origins, pay_items,
+            send_order, recv_order)
+
+
+def compile_world_exchange(plan: CollectivePlan,
+                           spec: ExchangeSpec | None = None) -> WorldExchange:
+    """Compile all ranks' shares of ``plan`` in one world-level pass.
+
+    Emits arrays byte-identical to
+    :func:`compile_world_exchange_reference` (the pinned per-rank compiler)
+    without ever instantiating a per-rank :class:`CompiledExchange`: instead
+    of resolving each rank's keys through its own :class:`_RowMap`, the pass
+    replays *every* rank's registration chronology at once.
+
+    The world row space is derived from one *registration stream*: segment 0
+    holds all ranks' owned keys ``(holder, holder, item)`` in (holder, item)
+    order, and each ``("recv", phase)`` schedule step appends the phase's
+    payload keys in (receiver, message, position) order.  Deduplicating the
+    stream by ``(holder, origin, item)`` with a stable lexsort keeps exactly
+    the first occurrence of every key — the moment the per-rank ``_RowMap``
+    would have registered it — so numbering the surviving keys by
+    ``(holder, first occurrence)`` reproduces every rank's row assignment,
+    pre-based into the world row space.  Sends (and the result view) then
+    resolve against that key table with one batched lexsort join; a send may
+    only use keys whose first occurrence lies in an earlier schedule step,
+    which reproduces the per-rank compiler's availability errors.
+    """
+    if spec is None:
+        spec = ExchangeSpec(dtype=plan.pattern.dtype,
+                            item_size=plan.pattern.item_size)
+    pattern = plan.pattern
+    n_ranks = pattern.n_ranks
+
+    if plan.variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
+        order, schedule = (Phase.DIRECT,), _DIRECT_SCHEDULE
+    else:
+        order, schedule = AGGREGATED_PHASES, _AGGREGATED_SCHEDULE
+    phase_cols = {phase: _phase_message_columns(plan.phases.get(phase, []))
+                  for phase in order}
+
+    # -- owned keys: unique (origin, item) pairs of the send side ------------
+    edge_origins, edge_dests, edge_items = pattern.edge_arrays()
+    if edge_items.size:
+        owned_sort = np.lexsort((edge_items, edge_origins))
+        o_sorted = edge_origins[owned_sort]
+        i_sorted = edge_items[owned_sort]
+        keep = run_starts_mask(o_sorted, i_sorted)
+        owned_holders = np.ascontiguousarray(o_sorted[keep])
+        owned_items_all = np.ascontiguousarray(i_sorted[keep])
+    else:
+        owned_holders = np.empty(0, dtype=INDEX_DTYPE)
+        owned_items_all = np.empty(0, dtype=INDEX_DTYPE)
+    owned_offsets = counts_to_displs(
+        np.bincount(owned_holders, minlength=n_ranks).astype(INDEX_DTYPE))
+
+    # -- registration stream: owned keys, then each recv step's payloads ----
+    seg_holders: List[np.ndarray] = [owned_holders]
+    seg_origins: List[np.ndarray] = [owned_holders]
+    seg_items: List[np.ndarray] = [owned_items_all]
+    recv_segment: Dict[Phase, int] = {}
+    for side, phase in schedule:
+        if side != "recv":
+            continue
+        _, dests, counts, offsets, pay_o, pay_i, _, recv_order = \
+            phase_cols[phase]
+        starts, lens = offsets[recv_order], counts[recv_order]
+        seg_holders.append(np.repeat(dests[recv_order], lens))
+        seg_origins.append(gather_ranges(pay_o, starts, lens))
+        seg_items.append(gather_ranges(pay_i, starts, lens))
+        recv_segment[phase] = len(seg_holders) - 1
+    seg_sizes = np.fromiter((h.size for h in seg_holders), dtype=INDEX_DTYPE,
+                            count=len(seg_holders))
+    seg_bounds = counts_to_displs(seg_sizes)
+    stream_holder = concatenate_or_empty(seg_holders)
+    stream_origin = concatenate_or_empty(seg_origins)
+    stream_item = concatenate_or_empty(seg_items)
+    stream_step = np.repeat(np.arange(seg_sizes.size, dtype=INDEX_DTYPE),
+                            seg_sizes)
+
+    # -- world rows: first occurrence per (holder, origin, item) ------------
+    key_sort = np.lexsort((stream_item, stream_origin, stream_holder))
+    h_s = stream_holder[key_sort]
+    o_s = stream_origin[key_sort]
+    i_s = stream_item[key_sort]
+    starts_mask = run_starts_mask(h_s, o_s, i_s)
+    group_sorted = np.cumsum(starts_mask) - 1
+    group_of = np.empty(key_sort.size, dtype=INDEX_DTYPE)
+    group_of[key_sort] = group_sorted
+    # The lexsort is stable, so the first row of each run is the smallest
+    # stream position — the registration moment of that key.
+    first_pos = key_sort[starts_mask]
+    key_holder = h_s[starts_mask]
+    key_origin = o_s[starts_mask]
+    key_item = i_s[starts_mask]
+    key_step = stream_step[first_pos]
+    n_keys = int(key_holder.size)
+    row_sort = np.lexsort((first_pos, key_holder))
+    key_row = np.empty(n_keys, dtype=INDEX_DTYPE)
+    key_row[row_sort] = np.arange(n_keys, dtype=INDEX_DTYPE)
+    stream_row = key_row[group_of] if n_keys else \
+        np.empty(0, dtype=INDEX_DTYPE)
+    rank_bases = counts_to_displs(
+        np.bincount(key_holder, minlength=n_ranks).astype(INDEX_DTYPE))
+    owned_rows = np.ascontiguousarray(stream_row[:seg_bounds[1]])
+
+    # -- result view: per receiver, last-declaring source wins per item -----
+    if edge_items.size:
+        entry_sort = np.lexsort((edge_origins, edge_dests))
+        d_e = edge_dests[entry_sort]
+        s_e = edge_origins[entry_sort]
+        i_e = edge_items[entry_sort]
+        last_sort = np.lexsort((i_e, d_e))
+        d_l, i_l = d_e[last_sort], i_e[last_sort]
+        run_start = run_starts_mask(d_l, i_l)
+        starts_idx = np.flatnonzero(run_start)
+        ends_idx = np.append(starts_idx[1:], d_l.size) - 1
+        result_holders = np.ascontiguousarray(d_l[starts_idx])
+        result_items_all = np.ascontiguousarray(i_l[starts_idx])
+        result_sources_all = np.ascontiguousarray(s_e[last_sort][ends_idx])
+    else:
+        result_holders = np.empty(0, dtype=INDEX_DTYPE)
+        result_items_all = np.empty(0, dtype=INDEX_DTYPE)
+        result_sources_all = np.empty(0, dtype=INDEX_DTYPE)
+    result_offsets = counts_to_displs(
+        np.bincount(result_holders, minlength=n_ranks).astype(INDEX_DTYPE))
+
+    # -- batched key resolution: all send steps plus the result view --------
+    send_steps: List[Tuple[Phase, int]] = []
+    query_parts: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    recvs_before = 0
+    for side, phase in schedule:
+        if side == "recv":
+            recvs_before += 1
+            continue
+        srcs, _, counts, offsets, pay_o, pay_i, send_order, _ = \
+            phase_cols[phase]
+        starts, lens = offsets[send_order], counts[send_order]
+        query_parts.append((np.repeat(srcs[send_order], lens),
+                            gather_ranges(pay_o, starts, lens),
+                            gather_ranges(pay_i, starts, lens)))
+        send_steps.append((phase, recvs_before))
+    query_parts.append((result_holders, result_sources_all, result_items_all))
+    q_holder = concatenate_or_empty([p[0] for p in query_parts])
+    q_origin = concatenate_or_empty([p[1] for p in query_parts])
+    q_item = concatenate_or_empty([p[2] for p in query_parts])
+    q_bounds = counts_to_displs(np.fromiter(
+        (p[0].size for p in query_parts), dtype=INDEX_DTYPE,
+        count=len(query_parts)))
+
+    all_h = np.concatenate([key_holder, q_holder])
+    all_o = np.concatenate([key_origin, q_origin])
+    all_i = np.concatenate([key_item, q_item])
+    join_sort = np.lexsort((all_i, all_o, all_h))
+    join_starts = run_starts_mask(all_h[join_sort], all_o[join_sort],
+                                  all_i[join_sort])
+    jgroup_sorted = np.cumsum(join_starts) - 1
+    jgroup = np.empty(join_sort.size, dtype=INDEX_DTYPE)
+    jgroup[join_sort] = jgroup_sorted
+    n_jgroups = int(jgroup_sorted[-1]) + 1 if join_sort.size else 0
+    row_of_jgroup = np.full(n_jgroups, -1, dtype=INDEX_DTYPE)
+    step_of_jgroup = np.full(n_jgroups, np.iinfo(INDEX_DTYPE).max,
+                             dtype=INDEX_DTYPE)
+    row_of_jgroup[jgroup[:n_keys]] = key_row
+    step_of_jgroup[jgroup[:n_keys]] = key_step
+    q_rows = row_of_jgroup[jgroup[n_keys:]]
+    q_steps = step_of_jgroup[jgroup[n_keys:]]
+
+    # -- availability errors, reproducing the per-rank compiler's checks ----
+    for index, (phase, allowed) in enumerate(send_steps):
+        lo, hi = int(q_bounds[index]), int(q_bounds[index + 1])
+        bad = (q_rows[lo:hi] < 0) | (q_steps[lo:hi] > allowed)
+        if bad.any():
+            position = int(np.argmax(bad))
+            _, _, counts, _, _, _, send_order, _ = phase_cols[phase]
+            messages = plan.phases.get(phase, [])
+            send_displs = counts_to_displs(counts[send_order])
+            slot = int(np.searchsorted(send_displs, position,
+                                       side="right")) - 1
+            message = messages[int(send_order[slot])]
+            raise PlanError(
+                f"phase-{phase.value} message {message.src}->"
+                f"{message.dest} packs origin "
+                f"{int(q_origin[lo + position])}, item "
+                f"{int(q_item[lo + position])} which the "
+                "sending rank neither owns nor received in an earlier phase"
+            )
+    lo = int(q_bounds[-2])
+    result_rows = np.ascontiguousarray(q_rows[lo:])
+    undelivered = result_rows < 0
+    if undelivered.any():
+        position = int(np.argmax(undelivered))
+        raise PlanError(
+            f"rank {int(result_holders[position])} expects item "
+            f"{int(result_items_all[position])} from rank "
+            f"{int(result_sources_all[position])} but no phase of "
+            "the plan delivers it"
+        )
+
+    # -- per-phase programs --------------------------------------------------
+    programs: Dict[Phase, WorldPhaseProgram] = {}
+    for index, (phase, _) in enumerate(send_steps):
+        srcs, dests, counts, _, _, _, send_order, recv_order = \
+            phase_cols[phase]
+        gather = np.ascontiguousarray(
+            q_rows[q_bounds[index]:q_bounds[index + 1]])
+        segment = recv_segment[phase]
+        scatter = np.ascontiguousarray(
+            stream_row[seg_bounds[segment]:seg_bounds[segment + 1]])
+        counts_send = counts[send_order]
+        wire_displs = counts_to_displs(counts_send)
+        wire_start_of_msg = np.empty(counts.size, dtype=INDEX_DTYPE)
+        wire_start_of_msg[send_order] = wire_displs[:-1]
+        counts_recv = counts[recv_order]
+        recv_displs = counts_to_displs(counts_recv)
+        total = int(recv_displs[-1])
+        wire_perm = (np.arange(total, dtype=INDEX_DTYPE)
+                     - np.repeat(recv_displs[:-1], counts_recv)
+                     + np.repeat(wire_start_of_msg[recv_order], counts_recv))
+        if wire_perm.size != scatter.size:
+            raise PlanError(
+                f"phase-{phase.value} wire permutation covers {wire_perm.size} "
+                f"items but the world scatter expects {scatter.size}"
+            )
+        programs[phase] = WorldPhaseProgram(
+            phase=phase,
+            tag=PHASE_TAGS[phase],
+            gather=gather,
+            scatter=scatter,
+            wire_perm=wire_perm,
+            msg_sources=np.ascontiguousarray(srcs[send_order]),
+            msg_dests=np.ascontiguousarray(dests[send_order]),
+            msg_nbytes=np.ascontiguousarray(counts_send) * spec.item_bytes,
+            gather_rank_offsets=counts_to_displs(np.bincount(
+                srcs, weights=counts, minlength=n_ranks).astype(INDEX_DTYPE)),
+            scatter_rank_offsets=counts_to_displs(np.bincount(
+                dests, weights=counts, minlength=n_ranks).astype(INDEX_DTYPE)),
+        )
+
+    return WorldExchange(
+        variant=plan.variant,
+        spec=spec,
+        n_ranks=n_ranks,
+        n_world_rows=n_keys,
+        rank_bases=rank_bases,
+        owned_rows=owned_rows,
+        owned_offsets=owned_offsets,
+        result_rows=result_rows,
+        result_offsets=result_offsets,
+        steps=schedule,
+        programs=programs,
+        owned_items_all=owned_items_all,
+        result_items_all=result_items_all,
+        result_sources_all=result_sources_all,
+        compiled=None,
     )

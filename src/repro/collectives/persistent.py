@@ -36,6 +36,7 @@ from repro.collectives.exchange import (
     compile_exchange,
     compile_world_exchange,
 )
+from repro.collectives import plan_cache
 from repro.collectives.plan import CollectivePlan, Phase, Variant
 from repro.simmpi.comm import SimComm
 from repro.simmpi.engine import ExchangeEngine, WorldValues
@@ -395,7 +396,15 @@ class WorldNeighborCollective:
             item_size=int(item_size) if item_size is not None
             else plan.pattern.item_size,
         )
-        self.world: WorldExchange = compile_world_exchange(plan, self.spec)
+        # Planner-built plans carry a content token, so the compiled world
+        # program can be served from (and feed) the plan/exchange cache; a
+        # hit is byte-identical to the cold compile and registration never
+        # mutates it, so one world may back many collectives/engines.
+        world = plan_cache.fetch_world(plan, self.spec)
+        if world is None:
+            world = compile_world_exchange(plan, self.spec)
+            plan_cache.store_world(plan, self.spec, world)
+        self.world: WorldExchange = world
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else \
             ExchangeEngine(self.world.n_ranks, profiler=profiler,

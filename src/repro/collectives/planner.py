@@ -37,6 +37,7 @@ from repro.collectives.plan import (
     SlotTable,
     Variant,
 )
+from repro.collectives import plan_cache
 from repro.pattern.comm_pattern import CommPattern
 from repro.topology.mapping import RankMapping
 from repro.utils.arrays import INDEX_DTYPE, counts_to_displs, run_starts_mask
@@ -258,7 +259,8 @@ def _aggregated_plan(pattern: CommPattern, mapping: RankMapping, *,
 
     return CollectivePlan(variant=variant, pattern=pattern, mapping=mapping,
                           phases=phases,
-                          self_deliveries=SlotTable.concat(self_parts))
+                          self_deliveries=SlotTable.concat(self_parts),
+                          strategy=strategy)
 
 
 def plan_partial(pattern: CommPattern, mapping: RankMapping, *,
@@ -278,34 +280,81 @@ def plan_full(pattern: CommPattern, mapping: RankMapping, *,
 
 
 def make_plan(pattern: CommPattern, mapping: RankMapping, variant: Variant | str, *,
-              strategy: BalanceStrategy = BalanceStrategy.BYTES) -> CollectivePlan:
-    """Dispatch to the planner for ``variant``."""
+              strategy: BalanceStrategy = BalanceStrategy.BYTES,
+              use_cache: bool = True) -> CollectivePlan:
+    """Dispatch to the planner for ``variant``.
+
+    Results are served from the content-addressed plan cache when possible
+    (see :mod:`repro.collectives.plan_cache`): planning is deterministic in
+    ``(pattern, mapping, variant, strategy)``, so a hit is the same plan a
+    cold build would produce.  Pass ``use_cache=False`` to force a cold
+    build (the cold plan is still stored for later callers).
+    """
     variant = Variant(variant)
+    if use_cache:
+        cached = plan_cache.fetch_plan(pattern, mapping, variant, strategy)
+        if cached is not None:
+            return cached
     if variant in (Variant.STANDARD, Variant.POINT_TO_POINT):
-        return plan_standard(pattern, mapping, variant=variant)
-    if variant is Variant.PARTIAL:
-        return plan_partial(pattern, mapping, strategy=strategy)
-    if variant is Variant.FULL:
-        return plan_full(pattern, mapping, strategy=strategy)
-    raise PlanError(f"unknown variant {variant!r}")
+        plan = plan_standard(pattern, mapping, variant=variant)
+    elif variant is Variant.PARTIAL:
+        plan = plan_partial(pattern, mapping, strategy=strategy)
+    elif variant is Variant.FULL:
+        plan = plan_full(pattern, mapping, strategy=strategy)
+    else:
+        raise PlanError(f"unknown variant {variant!r}")
+    plan.cache_token = plan_cache.plan_key(pattern, mapping, variant, strategy)
+    plan_cache.store_plan(plan)
+    return plan
 
 
 def all_plans(pattern: CommPattern, mapping: RankMapping, *,
-              strategy: BalanceStrategy = BalanceStrategy.BYTES
-              ) -> Dict[Variant, CollectivePlan]:
+              strategy: BalanceStrategy = BalanceStrategy.BYTES,
+              use_cache: bool = True) -> Dict[Variant, CollectivePlan]:
     """Plans for every variant, sharing one aggregation assignment.
 
     Sharing the assignment mirrors the paper's note that the partially
     optimized implementation "simply wraps" the fully optimized one, and keeps
-    the partial/full comparison (Figure 10) apples-to-apples.
+    the partial/full comparison (Figure 10) apples-to-apples.  Variants
+    already in the plan cache are served from it — ``setup_aggregation`` is
+    deterministic in ``(pattern, mapping, strategy)``, so a shared and a
+    per-plan assignment produce the same plan and may share cache entries.
+    The aggregation setup only runs when an aggregated variant misses.
     """
-    assignment = setup_aggregation(pattern, mapping, strategy=strategy)
-    return {
-        Variant.POINT_TO_POINT: plan_standard(pattern, mapping,
-                                              variant=Variant.POINT_TO_POINT),
-        Variant.STANDARD: plan_standard(pattern, mapping, variant=Variant.STANDARD),
-        Variant.PARTIAL: plan_partial(pattern, mapping, strategy=strategy,
-                                      assignment=assignment),
-        Variant.FULL: plan_full(pattern, mapping, strategy=strategy,
-                                assignment=assignment),
-    }
+    plans: Dict[Variant, CollectivePlan] = {}
+    if use_cache:
+        for variant in (Variant.POINT_TO_POINT, Variant.STANDARD,
+                        Variant.PARTIAL, Variant.FULL):
+            cached = plan_cache.fetch_plan(pattern, mapping, variant, strategy)
+            if cached is not None:
+                plans[variant] = cached
+
+    def built(variant: Variant, plan: CollectivePlan) -> CollectivePlan:
+        plan.cache_token = plan_cache.plan_key(pattern, mapping, variant,
+                                               strategy)
+        plan_cache.store_plan(plan)
+        return plan
+
+    if Variant.POINT_TO_POINT not in plans:
+        plans[Variant.POINT_TO_POINT] = built(
+            Variant.POINT_TO_POINT,
+            plan_standard(pattern, mapping, variant=Variant.POINT_TO_POINT))
+    if Variant.STANDARD not in plans:
+        plans[Variant.STANDARD] = built(
+            Variant.STANDARD,
+            plan_standard(pattern, mapping, variant=Variant.STANDARD))
+    if Variant.PARTIAL not in plans or Variant.FULL not in plans:
+        assignment = setup_aggregation(pattern, mapping, strategy=strategy)
+        if Variant.PARTIAL not in plans:
+            plans[Variant.PARTIAL] = built(
+                Variant.PARTIAL,
+                plan_partial(pattern, mapping, strategy=strategy,
+                             assignment=assignment))
+        if Variant.FULL not in plans:
+            plans[Variant.FULL] = built(
+                Variant.FULL,
+                plan_full(pattern, mapping, strategy=strategy,
+                          assignment=assignment))
+    return {variant: plans[variant]
+            for variant in (Variant.POINT_TO_POINT, Variant.STANDARD,
+                            Variant.PARTIAL, Variant.FULL)}

@@ -342,9 +342,7 @@ class ExchangeEngine:
         flat = work[world.result_rows]
         if world.spec.item_size == 1:
             flat = flat.reshape(-1)
-        offsets = world.result_offsets
-        return [flat[offsets[rank]:offsets[rank + 1]]
-                for rank in range(world.n_ranks)]
+        return np.split(flat, world.result_offsets[1:-1])
 
     # -- helpers --------------------------------------------------------------
 

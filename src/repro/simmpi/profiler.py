@@ -276,7 +276,12 @@ class TrafficProfiler:
                  ) -> Dict[int, TrafficSummary]:
         """Counters of sent traffic per source rank, optionally filtered by class."""
         wanted = set(localities) if localities is not None else None
-        summaries: Dict[int, TrafficSummary] = defaultdict(TrafficSummary)
+        # Accumulate columnar, convert once: the filtered (source, nbytes)
+        # columns of every entry are concatenated and reduced with a single
+        # bincount pair instead of touching a summary dict per record.
+        source_parts: List[np.ndarray] = []
+        nbyte_parts: List[np.ndarray] = []
+        singles: List[tuple[int, int]] = []
         for entry in self._snapshot():
             if isinstance(entry, TrafficBatch):
                 sources, nbytes = entry.sources, entry.nbytes
@@ -286,20 +291,28 @@ class TrafficProfiler:
                     keep = np.isin(entry.locality_codes,
                                    np.asarray([int(l) for l in wanted]))
                     sources, nbytes = sources[keep], nbytes[keep]
-                if sources.size == 0:
-                    continue
-                length = int(sources.max()) + 1
-                counts = np.bincount(sources, minlength=length)
-                byte_counts = np.bincount(sources, weights=nbytes,
-                                          minlength=length)
-                for rank in np.flatnonzero(counts):
-                    summaries[int(rank)].add_bulk(int(counts[rank]),
-                                                  int(byte_counts[rank]))
+                if sources.size:
+                    source_parts.append(sources)
+                    nbyte_parts.append(nbytes)
             else:
                 if wanted is not None and entry.locality not in wanted:
                     continue
-                summaries[entry.source].add(entry.nbytes)
-        return dict(summaries)
+                singles.append((entry.source, entry.nbytes))
+        if singles:
+            columns = np.asarray(singles, dtype=np.int64).reshape(
+                len(singles), 2)
+            source_parts.append(columns[:, 0])
+            nbyte_parts.append(columns[:, 1])
+        if not source_parts:
+            return {}
+        sources = np.concatenate(source_parts)
+        nbytes = np.concatenate(nbyte_parts)
+        length = int(sources.max()) + 1
+        counts = np.bincount(sources, minlength=length)
+        byte_counts = np.bincount(sources, weights=nbytes, minlength=length)
+        return {int(rank): TrafficSummary(int(counts[rank]),
+                                          int(byte_counts[rank]))
+                for rank in np.flatnonzero(counts)}
 
     def max_messages_per_rank(self, *, localities: Iterable[Locality] | None = None) -> int:
         """Maximum number of messages sent by any single rank."""

@@ -58,6 +58,25 @@ def _csr_slice_map(side: CsrSide, rank: int, *, copy: bool) -> Dict[int, np.ndar
     return result
 
 
+def _csr_dict_views(side: CsrSide) -> Dict[int, Dict[int, np.ndarray]]:
+    """All ranks' ``{peer: items}`` views of one CSR side in a single pass.
+
+    One ``np.split`` materialises every edge's item view at once and ranks
+    without edges are skipped entirely — the dict-of-dict view of a
+    16k-rank package no longer walks rank × edge index pairs.
+    """
+    offsets, peers, item_offsets, items = side
+    chunks = np.split(items, item_offsets[1:-1])
+    peer_ids = peers.tolist()
+    edge_bounds = offsets.tolist()
+    result: Dict[int, Dict[int, np.ndarray]] = {}
+    for rank in range(len(edge_bounds) - 1):
+        start, stop = edge_bounds[rank], edge_bounds[rank + 1]
+        if start != stop:
+            result[rank] = dict(zip(peer_ids[start:stop], chunks[start:stop]))
+    return result
+
+
 class CommPkg:
     """Halo-exchange description of one distributed matrix, stored columnar.
 
@@ -81,20 +100,14 @@ class CommPkg:
     def recv_items(self) -> Dict[int, Dict[int, np.ndarray]]:
         """``recv_items[rank][src]``: indices ``rank`` receives from ``src`` (views)."""
         if self._recv_dicts is None:
-            self._recv_dicts = {
-                rank: entries for rank in range(self.n_ranks)
-                if (entries := _csr_slice_map(self.recv_csr, rank, copy=False))
-            }
+            self._recv_dicts = _csr_dict_views(self.recv_csr)
         return self._recv_dicts
 
     @property
     def send_items(self) -> Dict[int, Dict[int, np.ndarray]]:
         """``send_items[rank][dest]``: indices ``rank`` sends to ``dest`` (views)."""
         if self._send_dicts is None:
-            self._send_dicts = {
-                rank: entries for rank in range(self.n_ranks)
-                if (entries := _csr_slice_map(self.send_csr, rank, copy=False))
-            }
+            self._send_dicts = _csr_dict_views(self.send_csr)
         return self._send_dicts
 
     def recv_map(self, rank: int) -> Dict[int, np.ndarray]:

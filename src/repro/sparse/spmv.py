@@ -107,15 +107,22 @@ def _world_positions(collective, blocks_list, input_base):
 
     ``input_base(blocks)`` gives the first global index of the rank's slice
     of the *input* vector (row range for a square SpMV, column range for a
-    grid transfer).
+    grid transfer).  Both sides come straight from the world exchange's
+    concatenated columns: one broadcast subtraction plus one split for the
+    owned positions, one searchsorted per rank for the halo side.
     """
-    owned_positions: List[np.ndarray] = []
-    halo_positions: List[np.ndarray] = []
-    for rank, blocks in enumerate(blocks_list):
-        owned_positions.append(collective.owned_item_ids(rank)
-                               - input_base(blocks))
-        halo_positions.append(_halo_positions(blocks.col_map_offd,
-                                              collective.recv_item_ids(rank)))
+    world = collective.world
+    bases = np.fromiter((int(input_base(blocks)) for blocks in blocks_list),
+                        dtype=np.int64, count=len(blocks_list))
+    owned_counts = np.diff(world.owned_offsets)
+    owned_positions = np.split(
+        world.owned_items_all - np.repeat(bases, owned_counts),
+        world.owned_offsets[1:-1])
+    halo_positions = [
+        _halo_positions(blocks.col_map_offd, recv_ids)
+        for blocks, recv_ids in zip(
+            blocks_list,
+            np.split(world.result_items_all, world.result_offsets[1:-1]))]
     return owned_positions, halo_positions
 
 
@@ -218,7 +225,7 @@ class WorldSpMV:
             pattern, mapping, variant=variant, strategy=strategy,
             engine=engine, profiler=profiler, runtime=runtime,
             n_workers=n_workers, on_failure=on_failure)
-        self.blocks = [matrix.local_blocks(rank) for rank in range(self.n_ranks)]
+        self.blocks = matrix.all_local_blocks()
         # Per-rank index arrays, exactly as in DistributedSpMV: local-vector
         # positions of the owned exchange input, and offd-column positions of
         # the dense halo output.
@@ -357,7 +364,7 @@ class WorldRectSpMV:
             pattern, mapping, variant=variant, strategy=strategy,
             engine=engine, profiler=profiler, runtime=runtime,
             n_workers=n_workers, on_failure=on_failure)
-        self.blocks = [matrix.local_blocks(rank) for rank in range(self.n_ranks)]
+        self.blocks = matrix.all_local_blocks()
         self._owned_positions, self._halo_positions = _world_positions(
             self.collective, self.blocks, lambda blocks: blocks.col_range[0])
 

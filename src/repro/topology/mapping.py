@@ -140,6 +140,19 @@ class RankMapping:
                    custom_cores=cores, region=region,
                    ranks_per_node=machine.cores_per_node)
 
+    # -- content view ------------------------------------------------------
+
+    def cores_array(self) -> np.ndarray:
+        """The rank→core placement column (read-only view).
+
+        Together with the machine geometry and region kind this determines
+        every locality query the mapping can answer — it is the mapping's
+        contribution to the plan cache's content key.
+        """
+        view = self._cores.view()
+        view.flags.writeable = False
+        return view
+
     # -- per-rank queries --------------------------------------------------
 
     def core_of(self, rank: int) -> int:

@@ -1,0 +1,69 @@
+"""Schema check for the committed ``BENCH_*.json`` perf-trajectory files.
+
+Every wall-clock perf gate persists its measurement through
+``benchmarks.conftest.emit_bench``; CI archives the resulting JSON files so
+regressions can be traced per commit.  The trajectory is only comparable if
+every payload records the same core fields — what was measured, at what
+simulated scale, and in which execution environment (runtime, worker count,
+kernel backend).  This test pins that contract for every committed file, so
+a bench that bypasses ``emit_bench`` or an ``emit_bench`` edit that drops a
+field fails fast.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+
+#: Field name -> accepted types, present in every emitted payload.
+REQUIRED_FIELDS = {
+    "bench": str,
+    "speedup": (int, float),
+    "baseline_s": (int, float),
+    "optimized_s": (int, float),
+    "n_ranks": int,
+    "git_rev": (str, type(None)),
+    "runtime": str,
+    "n_workers": int,
+    "kernels": str,
+}
+
+RUNTIMES = {"engine", "threads", "procs"}
+
+
+def bench_files() -> list[str]:
+    return sorted(glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json")))
+
+
+def test_bench_results_are_committed():
+    """At least the always-on perf gates must have archived payloads."""
+    names = {os.path.basename(path) for path in bench_files()}
+    assert "BENCH_setup_scale.json" in names
+    assert "BENCH_plan_cache_warm.json" in names
+
+
+@pytest.mark.parametrize("path", bench_files(),
+                         ids=[os.path.basename(p) for p in bench_files()])
+def test_bench_payload_schema(path):
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    for name, types in REQUIRED_FIELDS.items():
+        assert name in payload, f"{os.path.basename(path)} lacks {name!r}"
+        assert isinstance(payload[name], types), \
+            f"{os.path.basename(path)}: {name!r} is {type(payload[name]).__name__}"
+    assert payload["bench"], "bench name must be non-empty"
+    assert f"BENCH_{payload['bench']}.json" == os.path.basename(path), \
+        "payload bench name must match its file name"
+    assert payload["runtime"] in RUNTIMES
+    assert payload["n_workers"] >= 1
+    assert payload["n_ranks"] >= 1
+    assert payload["baseline_s"] >= 0.0
+    assert payload["optimized_s"] >= 0.0
+    assert payload["speedup"] > 0.0

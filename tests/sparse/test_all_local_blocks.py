@@ -1,0 +1,88 @@
+"""Golden equivalence: one-pass block splitting vs per-rank ``local_blocks``.
+
+:meth:`ParCSRMatrix.all_local_blocks` (and the rectangular counterpart)
+builds every rank's diag/offd split from one vectorized classification of
+the global CSR; the per-rank scipy slicing path is the pinned reference.
+Structure must match exactly: dense block values, shapes, ``col_map_offd``
+contents, and sorted column order inside every row.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.parcsr import ParCSRMatrix, ParCSRRectMatrix
+from repro.sparse.partition import RowPartition
+from repro.sparse.stencils import poisson_2d, rotated_anisotropic_diffusion
+
+
+def reference_blocks(matrix):
+    """Per-rank reference splits on a cache-free twin of ``matrix``."""
+    if isinstance(matrix, ParCSRRectMatrix):
+        twin = ParCSRRectMatrix(matrix.matrix, matrix.row_partition,
+                                matrix.col_partition)
+    else:
+        twin = ParCSRMatrix(matrix.matrix, matrix.partition)
+    return [twin.local_blocks(rank) for rank in range(matrix.n_ranks)]
+
+
+def assert_blocks_match(fast_blocks, ref_blocks):
+    assert len(fast_blocks) == len(ref_blocks)
+    for fast, ref in zip(fast_blocks, ref_blocks):
+        assert fast.rank == ref.rank
+        assert fast.row_range == ref.row_range
+        assert fast.diag.shape == ref.diag.shape
+        assert fast.offd.shape == ref.offd.shape
+        np.testing.assert_array_equal(fast.col_map_offd, ref.col_map_offd)
+        assert fast.col_map_offd.dtype == ref.col_map_offd.dtype
+        np.testing.assert_array_equal(fast.diag.toarray(), ref.diag.toarray())
+        np.testing.assert_array_equal(fast.offd.toarray(), ref.offd.toarray())
+        for block in (fast.diag, fast.offd):
+            for row in range(block.shape[0]):
+                cols = block.indices[block.indptr[row]:block.indptr[row + 1]]
+                assert np.all(np.diff(cols) > 0), "unsorted or duplicate cols"
+
+
+@pytest.mark.parametrize("n_ranks", [1, 3, 4, 7])
+def test_square_split_matches_per_rank_path(n_ranks):
+    matrix = ParCSRMatrix(rotated_anisotropic_diffusion((6, 6)),
+                          RowPartition.even(36, n_ranks))
+    assert_blocks_match(matrix.all_local_blocks(), reference_blocks(matrix))
+
+
+def test_square_split_with_empty_ranks():
+    offsets = [0, 10, 10, 25, 25, 36]
+    matrix = ParCSRMatrix(poisson_2d((6, 6)), RowPartition(offsets))
+    assert_blocks_match(matrix.all_local_blocks(), reference_blocks(matrix))
+
+
+def test_rect_split_matches_per_rank_path():
+    rng = np.random.default_rng(7)
+    dense = (rng.random((24, 15)) < 0.2) * rng.random((24, 15))
+    matrix = ParCSRRectMatrix(sp.csr_matrix(dense),
+                              RowPartition.even(24, 4),
+                              RowPartition.even(15, 4))
+    assert_blocks_match(matrix.all_local_blocks(), reference_blocks(matrix))
+
+
+def test_all_local_blocks_respects_cache_identity():
+    matrix = ParCSRMatrix(poisson_2d((4, 4)), RowPartition.even(16, 4))
+    cached = matrix.local_blocks(2)
+    blocks = matrix.all_local_blocks()
+    assert blocks[2] is cached
+    assert matrix.local_blocks(0) is blocks[0]
+
+
+def test_spmv_through_vectorized_blocks():
+    matrix = ParCSRMatrix(rotated_anisotropic_diffusion((5, 5)),
+                          RowPartition.even(25, 5))
+    x = np.arange(25, dtype=np.float64)
+    expected = matrix.matrix @ x
+    result = np.empty(25)
+    for blocks in matrix.all_local_blocks():
+        first, last = blocks.row_range
+        local = blocks.diag @ x[first:last]
+        if blocks.n_offd_cols:
+            local = local + blocks.offd @ x[blocks.col_map_offd]
+        result[first:last] = local
+    np.testing.assert_allclose(result, expected, atol=1e-12)
