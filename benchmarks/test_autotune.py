@@ -1,0 +1,58 @@
+"""Autotuner gate: the online "auto" series must track the per-level best.
+
+Runs the Figure 7 crossover driver with the online selector enabled on the
+modeled 1024-rank figure and gates the converged auto cost against the best
+*fixed* variant and the per-level oracle: exploring online may never cost
+more than 10% at steady state (in fact the selector lands exactly on the
+oracle when fed exact modeled times — the gate guards the machinery, the
+margin guards future noise sources).
+"""
+
+from __future__ import annotations
+
+from conftest import emit, emit_bench
+
+from repro.collectives.plan import Variant
+from repro.experiments.config import ExperimentContext
+from repro.experiments.crossover import run_crossover
+
+N_RANKS = 1024
+CANDIDATES = (Variant.STANDARD, Variant.PARTIAL, Variant.FULL)
+
+
+def test_bench_autotune_tracks_per_level_best(benchmark, experiment_config):
+    context = ExperimentContext.build(experiment_config.with_ranks(N_RANKS))
+    result = benchmark.pedantic(
+        run_crossover, args=(context,), kwargs={"variants": ("auto",)},
+        iterations=1, rounds=1)
+    emit("fig07_crossover_auto", result.to_table())
+
+    auto_steady = result.per_iteration["auto"]
+    best_fixed = min(result.per_iteration[variant] for variant in CANDIDATES)
+    oracle = sum(min(profile.times[variant] for variant in CANDIDATES)
+                 for profile in context.profiles)
+
+    # The gates: converged auto within 10% of the best fixed variant and of
+    # the per-level oracle (its theoretical floor).
+    assert auto_steady <= 1.10 * best_fixed
+    assert auto_steady <= 1.10 * oracle
+    assert oracle <= auto_steady + 1e-15
+
+    # The trace justifies every level's choice and is internally consistent.
+    trace = result.decision_trace
+    trace.validate()
+    choices = trace.choices()
+    assert sorted(choices) == [profile.level for profile in context.profiles]
+    for level, variant in choices.items():
+        assert trace.events(kind="probe", level=level)
+        assert variant in CANDIDATES
+
+    emit_bench("autotune",
+               speedup=best_fixed / auto_steady,
+               baseline_s=best_fixed,
+               optimized_s=auto_steady,
+               n_ranks=N_RANKS,
+               oracle_s=oracle,
+               crossover_auto=result.crossovers["auto"],
+               n_levels=len(context.profiles),
+               trace_events=len(trace))

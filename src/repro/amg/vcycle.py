@@ -37,7 +37,7 @@ solve phase through the data path, with identical traffic on both runtimes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -51,6 +51,11 @@ from repro.collectives.api import (
     CollectiveRequest,
     neighbor_alltoallv_init_many,
     neighbor_alltoallv_init_world,
+)
+from repro.collectives.autotune import (
+    DecisionTrace,
+    OnlineSelector,
+    is_auto_variant,
 )
 from repro.collectives.persistent import (
     PersistentNeighborCollective,
@@ -324,6 +329,16 @@ class WorldVCycle:
     fused single-process, ``"procs"`` shared-memory worker pool); ``close``
     — or context-manager exit — releases those engines' workers and shared
     segments deterministically (a caller-supplied engine stays open).
+
+    ``variant="auto"`` turns on online selection: every candidate variant's
+    exchanges are registered up front (the plan cache keeps this cheap), an
+    :class:`~repro.collectives.autotune.OnlineSelector` — seeded from
+    ``model``'s modeled times when given — picks each level's variant per
+    cycle, and the engines' per-round timing hook feeds it measured
+    seconds.  Switching variants is a per-level table swap, results stay
+    byte-identical to any fixed variant, and every decision lands on
+    :attr:`decision_trace`.  ``selector`` supplies a configured (fresh)
+    selector, ``clock`` a deterministic timer for the cycle's own engines.
     """
 
     def __init__(self, hierarchy: AMGHierarchy, mapping: RankMapping, *,
@@ -336,7 +351,10 @@ class WorldVCycle:
                  level_profilers: Optional[Sequence[TrafficProfiler]] = None,
                  runtime: str | None = None,
                  n_workers: int | None = None,
-                 on_failure: str | None = None):
+                 on_failure: str | None = None,
+                 selector: OnlineSelector | None = None,
+                 model=None,
+                 clock=None):
         _check_cycle_arguments(hierarchy, mapping, pre_sweeps, post_sweeps)
         _check_level_profilers(level_profilers, hierarchy.n_levels)
         if level_profilers is not None and engine is not None:
@@ -350,64 +368,182 @@ class WorldVCycle:
                 "engine / per-level profilers, not both"
             )
         if engine is not None and (runtime is not None or n_workers is not None
-                                   or on_failure is not None):
+                                   or on_failure is not None
+                                   or clock is not None):
             raise ValidationError(
                 "a shared engine already fixed its runtime; pass runtime/"
-                "n_workers/on_failure only when the cycle creates its own "
-                "engines"
+                "n_workers/on_failure/clock only when the cycle creates its "
+                "own engines"
             )
+        auto = is_auto_variant(variant)
+        if not auto and (selector is not None or model is not None):
+            raise ValidationError(
+                "selector= and model= configure online selection; pass "
+                "variant='auto' to enable it"
+            )
+        if auto:
+            selector = selector if selector is not None else OnlineSelector()
+            if selector.seeded_levels():
+                raise ValidationError(
+                    "variant='auto' needs a fresh selector (levels are "
+                    "seeded by the cycle itself)"
+                )
         self.hierarchy = hierarchy
         self.mapping = mapping
         self.n_ranks = hierarchy.levels[0].matrix.n_ranks
         self.pre_sweeps = int(pre_sweeps)
         self.post_sweeps = int(post_sweeps)
         self.omega = float(omega)
+        self._selector = selector if auto else None
+        self._active: Dict[int, Variant] = {}
         n_levels = hierarchy.n_levels
         if level_profilers is not None:
             engines = [ExchangeEngine(self.n_ranks, profiler=level_profiler,
                                       runtime=runtime, n_workers=n_workers,
-                                      on_failure=on_failure)
+                                      on_failure=on_failure, clock=clock)
                        for level_profiler in level_profilers]
             self._owned_engines = list(engines)
         else:
             shared = engine if engine is not None else \
                 ExchangeEngine(self.n_ranks, profiler=profiler,
                                runtime=runtime, n_workers=n_workers,
-                               on_failure=on_failure)
+                               on_failure=on_failure, clock=clock)
             engines = [shared] * n_levels
             self._owned_engines = [] if engine is not None else [shared]
         self.engines = engines
+        self._unique_engines = list({id(e): e for e in engines}.values())
 
-        self.levels: List[_WorldLevel] = []
-        for index in range(n_levels - 1):
-            spmv = WorldSpMV(hierarchy.levels[index].matrix, mapping,
-                             variant=variant, strategy=strategy,
-                             engine=engines[index])
-            smoother = WorldJacobi(spmv, omega=self.omega)
-            restrict = WorldRectSpMV(hierarchy.restriction_matrix(index),
-                                     mapping, variant=variant,
-                                     strategy=strategy, engine=engines[index])
-            prolong = WorldRectSpMV(hierarchy.prolongation_matrix(index),
-                                    mapping, variant=variant,
-                                    strategy=strategy, engine=engines[index])
-            self.levels.append(_WorldLevel(spmv=spmv, smoother=smoother,
-                                           restrict=restrict, prolong=prolong))
+        # In auto mode every candidate's exchanges register up front against
+        # the same engines (the plan/exchange cache makes the extra variants
+        # cheap); switching a level's variant is then a pure table swap.
+        build_variants = self._selector.candidates if auto \
+            else (Variant(variant),)
+        self._variant_levels: Dict[Variant, List[_WorldLevel]] = {}
+        for build_variant in build_variants:
+            built: List[_WorldLevel] = []
+            for index in range(n_levels - 1):
+                spmv = WorldSpMV(hierarchy.levels[index].matrix, mapping,
+                                 variant=build_variant, strategy=strategy,
+                                 engine=engines[index])
+                smoother = WorldJacobi(spmv, omega=self.omega)
+                restrict = WorldRectSpMV(hierarchy.restriction_matrix(index),
+                                         mapping, variant=build_variant,
+                                         strategy=strategy,
+                                         engine=engines[index])
+                prolong = WorldRectSpMV(hierarchy.prolongation_matrix(index),
+                                        mapping, variant=build_variant,
+                                        strategy=strategy,
+                                        engine=engines[index])
+                built.append(_WorldLevel(spmv=spmv, smoother=smoother,
+                                         restrict=restrict, prolong=prolong))
+            self._variant_levels[build_variant] = built
+        self.levels = self._variant_levels[build_variants[0]]
 
         coarsest = hierarchy.levels[-1]
         self._coarse_partition = coarsest.matrix.partition
         self._coarse_solver = _coarse_factorized(coarsest.matrix.matrix)
+        self._coarse_collectives: Dict[Variant, WorldNeighborCollective] = {}
         self._coarse_collective: WorldNeighborCollective | None = None
         pattern = coarse_gather_pattern(self._coarse_partition)
         if pattern.n_messages:
-            self._coarse_collective = neighbor_alltoallv_init_world(
-                pattern, mapping, variant=variant, strategy=strategy,
-                engine=engines[n_levels - 1])
+            for build_variant in build_variants:
+                self._coarse_collectives[build_variant] = \
+                    neighbor_alltoallv_init_world(
+                        pattern, mapping, variant=build_variant,
+                        strategy=strategy, engine=engines[n_levels - 1])
+            self._coarse_collective = self._coarse_collectives[
+                build_variants[0]]
 
         # Residual norms of an iterative solve need the fine operator even on
         # a single-level hierarchy, where no smoothing level exists.
         self.fine_spmv = self.levels[0].spmv if self.levels else \
-            WorldSpMV(hierarchy.levels[0].matrix, mapping, variant=variant,
-                      strategy=strategy, engine=engines[0])
+            WorldSpMV(hierarchy.levels[0].matrix, mapping,
+                      variant=build_variants[0], strategy=strategy,
+                      engine=engines[0])
+
+        self._observed_engines: List[ExchangeEngine] = []
+        if auto:
+            self._seed_selector(model)
+            self._attach_observers()
+
+    # -- online selection -----------------------------------------------------
+
+    @property
+    def selector(self) -> OnlineSelector | None:
+        """The online selector (``None`` unless ``variant="auto"``)."""
+        return self._selector
+
+    @property
+    def decision_trace(self) -> DecisionTrace | None:
+        """Every seed/probe/commit/switch decision (``None`` on fixed variants)."""
+        return self._selector.trace if self._selector is not None else None
+
+    def _seed_selector(self, model) -> None:
+        """Seed every communicating level from the cost model's plan times.
+
+        A level's cycle cost under one variant is the modeled time of its
+        operator-SpMV exchange once per smoother sweep plus once for the
+        residual, plus one restrict and one prolong exchange; the coarsest
+        level contributes its gather.  Without a model every candidate
+        seeds equal (zero), so the probe schedule alone decides.
+        """
+        weight = self.pre_sweeps + self.post_sweeps + 1
+        for index in range(self.hierarchy.n_levels - 1):
+            modeled = {}
+            for build_variant, built in self._variant_levels.items():
+                level = built[index]
+                if model is None:
+                    modeled[build_variant] = 0.0
+                else:
+                    modeled[build_variant] = (
+                        weight * level.spmv.collective.plan.modeled_time(model)
+                        + level.restrict.collective.plan.modeled_time(model)
+                        + level.prolong.collective.plan.modeled_time(model))
+            self._selector.seed(index, modeled)
+        if self._coarse_collectives:
+            modeled = {
+                build_variant: (0.0 if model is None
+                                else collective.plan.modeled_time(model))
+                for build_variant, collective
+                in self._coarse_collectives.items()
+            }
+            self._selector.seed(self.hierarchy.n_levels - 1, modeled)
+
+    def _attach_observers(self) -> None:
+        """Point every engine's timing hook at the selector, by handle."""
+        tables: Dict[int, Dict[int, int]] = {}
+        engines_by_id: Dict[int, ExchangeEngine] = {}
+
+        def note(collective, level_index: int) -> None:
+            tables.setdefault(id(collective.engine), {})[
+                collective.handle] = level_index
+            engines_by_id[id(collective.engine)] = collective.engine
+
+        for built in self._variant_levels.values():
+            for index, level in enumerate(built):
+                note(level.spmv.collective, index)
+                note(level.restrict.collective, index)
+                note(level.prolong.collective, index)
+        for collective in self._coarse_collectives.values():
+            note(collective, self.hierarchy.n_levels - 1)
+        for engine_id, table in tables.items():
+            observed = engines_by_id[engine_id]
+            observed.set_run_observer(self._make_observer(table))
+            self._observed_engines.append(observed)
+
+    def _make_observer(self, table: Dict[int, int]):
+        selector = self._selector
+
+        def observer(handle: int, seconds: float) -> None:
+            level = table.get(handle)
+            if level is not None:
+                selector.record(level, seconds)
+
+        return observer
+
+    def _recovery_events(self) -> int:
+        """Supervision events recorded so far across this cycle's engines."""
+        return sum(len(used.events) for used in self._unique_engines)
 
     @property
     def n_rows(self) -> int:
@@ -416,6 +552,10 @@ class WorldVCycle:
 
     def close(self) -> None:
         """Release every engine this cycle created (workers, shared segments)."""
+        for observed in self._observed_engines:
+            if not observed.closed:
+                observed.set_run_observer(None)
+        self._observed_engines = []
         for owned in self._owned_engines:
             owned.close()
 
@@ -443,23 +583,41 @@ class WorldVCycle:
         if self._coarse_solver is None:
             return np.zeros(self._coarse_partition.n_rows, dtype=np.float64)
         full = np.empty(self._coarse_partition.n_rows, dtype=np.float64)
-        if self._coarse_collective is not None:
+        collective = self._coarse_active()
+        if collective is not None:
             # Owned item ids are global coarse rows, so every rank's input
             # slice is one gather from the concatenated world columns.
-            world = self._coarse_collective.world
+            world = collective.world
             values = np.split(b[world.owned_items_all],
                               world.owned_offsets[1:-1])
-            halos = self._coarse_collective.exchange(values)
-            full[self._coarse_collective.recv_item_ids(0)] = halos[0]
+            halos = collective.exchange(values)
+            full[collective.recv_item_ids(0)] = halos[0]
         full[self._coarse_partition.rows_of(0)] = b[self._coarse_partition.rows_of(0)]
         return np.asarray(self._coarse_solver(full), dtype=np.float64)
+
+    def _coarse_active(self) -> WorldNeighborCollective | None:
+        """The coarse gather of the cycle's active (or fixed) variant."""
+        if self._selector is None or not self._coarse_collectives:
+            return self._coarse_collective
+        active = self._active.get(self.hierarchy.n_levels - 1)
+        if active is None:
+            return self._coarse_collective
+        return self._coarse_collectives[active]
+
+    def _level(self, index: int) -> _WorldLevel:
+        """The level's collectives under the cycle's active (or fixed) variant."""
+        if self._selector is None:
+            return self.levels[index]
+        active = self._active.get(index)
+        built = self.levels if active is None else self._variant_levels[active]
+        return built[index]
 
     def _cycle(self, index: int, b: np.ndarray, x: np.ndarray) -> np.ndarray:
         if index == self.hierarchy.n_levels - 1:
             if self.hierarchy.levels[index].matrix.n_rows == 0:
                 return x
             return self._coarse_solve(b)
-        level = self.levels[index]
+        level = self._level(index)
         x = level.smoother.smooth(b, x, sweeps=self.pre_sweeps)
         residual = b - level.spmv.multiply(x)
         coarse_b = level.restrict.multiply(residual)
@@ -469,13 +627,34 @@ class WorldVCycle:
         return level.smoother.smooth(b, x, sweeps=self.post_sweeps)
 
     def cycle(self, b: np.ndarray, x: np.ndarray) -> np.ndarray:
-        """Apply one V-cycle to ``A x = b`` for the whole communicator."""
+        """Apply one V-cycle to ``A x = b`` for the whole communicator.
+
+        Under ``variant="auto"`` the cycle is one measurement window: the
+        selector fixes each level's variant up front (so a cycle never
+        mixes variants within a level), the engines time every exchange
+        round into it, and a cycle overlapped by engine fault recovery is
+        discarded rather than scored — supervision stalls are not protocol
+        cost.
+        """
         b = np.asarray(b, dtype=np.float64)
         x = np.asarray(x, dtype=np.float64)
         n = self.n_rows
         if b.shape != (n,) or x.shape != (n,):
             raise ValidationError(f"b and x must have shape ({n},)")
-        return self._cycle(0, b, x)
+        if self._selector is None:
+            return self._cycle(0, b, x)
+        self._selector.begin_cycle()
+        self._active = {level: self._selector.variant_for(level)
+                        for level in self._selector.seeded_levels()}
+        events_before = self._recovery_events()
+        try:
+            result = self._cycle(0, b, x)
+        except BaseException:
+            self._selector.abort_cycle()
+            raise
+        self._selector.end_cycle(
+            recovered=self._recovery_events() > events_before)
+        return result
 
 
 class WorldAMGSolver:
@@ -506,7 +685,10 @@ class WorldAMGSolver:
                  level_profilers: Optional[Sequence[TrafficProfiler]] = None,
                  runtime: str | None = None,
                  n_workers: int | None = None,
-                 on_failure: str | None = None):
+                 on_failure: str | None = None,
+                 selector: OnlineSelector | None = None,
+                 model=None,
+                 clock=None):
         self.matrix = matrix
         self.hierarchy = hierarchy or build_hierarchy(
             matrix, strength_theta=strength_theta, max_levels=max_levels,
@@ -517,7 +699,18 @@ class WorldAMGSolver:
             self.hierarchy, mapping, variant=variant, strategy=strategy,
             pre_sweeps=pre_sweeps, post_sweeps=post_sweeps, omega=omega,
             engine=engine, profiler=profiler, level_profilers=level_profilers,
-            runtime=runtime, n_workers=n_workers, on_failure=on_failure)
+            runtime=runtime, n_workers=n_workers, on_failure=on_failure,
+            selector=selector, model=model, clock=clock)
+
+    @property
+    def selector(self) -> OnlineSelector | None:
+        """The online selector (``None`` unless ``variant="auto"``)."""
+        return self.vcycle_executor.selector
+
+    @property
+    def decision_trace(self) -> DecisionTrace | None:
+        """Every autotuning decision of the solve (``None`` on fixed variants)."""
+        return self.vcycle_executor.decision_trace
 
     def close(self) -> None:
         """Release the underlying V-cycle's engines (workers, shared segments)."""
@@ -552,7 +745,8 @@ class WorldAMGSolver:
             self.vcycle_executor.residual(b, x)))]
         if residual_norms[0] == 0.0:
             return SolveResult(solution=x, residual_norms=residual_norms,
-                               iterations=0, converged=True)
+                               iterations=0, converged=True,
+                               decision_trace=self.decision_trace)
         target = tol * residual_norms[0]
         converged = False
         iterations = 0
@@ -564,4 +758,5 @@ class WorldAMGSolver:
                 converged = True
                 break
         return SolveResult(solution=x, residual_norms=residual_norms,
-                           iterations=iterations, converged=converged)
+                           iterations=iterations, converged=converged,
+                           decision_trace=self.decision_trace)

@@ -11,7 +11,10 @@ This package is the reproduction of the paper's core contribution:
 * :mod:`repro.collectives.api` — the MPI-Advance-style entry points
   applications call;
 * :mod:`repro.collectives.selection` — model-driven dynamic selection of the
-  cheapest variant (the paper's future-work extension).
+  cheapest variant (the paper's future-work extension);
+* :mod:`repro.collectives.autotune` — the *online* half of that future work:
+  measured probe windows per level, empirical commits, and an auditable
+  decision trace.
 """
 
 from repro.collectives.plan import (
@@ -81,6 +84,18 @@ from repro.collectives.api import (
     unpack_alltoallv_buffers,
 )
 from repro.collectives.selection import SelectionResult, select_variant, best_per_pattern
+from repro.collectives.autotune import (
+    AUTO_VARIANT,
+    DEFAULT_CANDIDATES,
+    TRACE_SCHEMA_VERSION,
+    AutoSimulation,
+    DecisionEvent,
+    DecisionTrace,
+    FixedStepClock,
+    OnlineSelector,
+    is_auto_variant,
+    simulate_modeled_auto,
+)
 
 __all__ = [
     "Variant",
@@ -134,4 +149,14 @@ __all__ = [
     "SelectionResult",
     "select_variant",
     "best_per_pattern",
+    "AUTO_VARIANT",
+    "DEFAULT_CANDIDATES",
+    "TRACE_SCHEMA_VERSION",
+    "AutoSimulation",
+    "DecisionEvent",
+    "DecisionTrace",
+    "FixedStepClock",
+    "OnlineSelector",
+    "is_auto_variant",
+    "simulate_modeled_auto",
 ]

@@ -412,6 +412,16 @@ class WorldNeighborCollective:
                            on_failure=on_failure)
         self._handle = self.engine.register(self.world)
 
+    @property
+    def handle(self) -> int:
+        """This collective's registration handle on :attr:`engine`.
+
+        The key the engine's per-round timing hook reports, so callers
+        (e.g. the online autotuner) can attribute measured rounds back to
+        the collective that ran.
+        """
+        return self._handle
+
     # -- lifecycle --------------------------------------------------------------
 
     def close(self) -> None:

@@ -24,6 +24,7 @@ lazily, so existing per-slot callers keep working unchanged.
 from __future__ import annotations
 
 import enum
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, NamedTuple, Sequence, Tuple
 
@@ -422,16 +423,36 @@ class CollectivePlan:
     cache_token: object = field(default=None, compare=False)
     #: Instance memos for the derived per-plan analyses (statistics and
     #: modeled times).  A plan is immutable once planned, so both are pure
-    #: functions of the plan (plus, for times, the cost-model content) —
-    #: cached plans served repeatedly to the experiment drivers then answer
-    #: their analyses in O(1) instead of re-walking every message.
+    #: functions of the plan (plus, for times, the cost model) — cached
+    #: plans served repeatedly to the experiment drivers then answer their
+    #: analyses in O(1) instead of re-walking every message.  Modeled times
+    #: are keyed by the *live model object* (weakly, so dead models free
+    #: their entries): keying by ``repr`` would let a model whose repr
+    #: omits behaviour-bearing state — any non-dataclass
+    #: :class:`~repro.perfmodel.base.CostModel` subclass with the default
+    #: address-based repr, which the GC can reuse — be served another
+    #: model's cached time.  Frozen-dataclass models hash by content, so
+    #: equal models still share entries.
     _statistics_memo: object = field(default=None, compare=False, repr=False)
-    _modeled_time_memo: Dict[str, float] = field(default_factory=dict,
-                                                 compare=False, repr=False)
+    _modeled_time_memo: "weakref.WeakKeyDictionary" = field(
+        default_factory=weakref.WeakKeyDictionary, compare=False, repr=False)
 
     def __post_init__(self):
         if not isinstance(self.self_deliveries, SlotTable):
             self.self_deliveries = SlotTable.from_slots(self.self_deliveries)
+
+    def __getstate__(self):
+        # The memos are derived state: excluding them keeps pickles (the
+        # disk tier of the plan cache) independent of what analyses happened
+        # to run first, and the weak-keyed time memo cannot pickle anyway.
+        state = self.__dict__.copy()
+        state["_statistics_memo"] = None
+        state["_modeled_time_memo"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__["_modeled_time_memo"] = weakref.WeakKeyDictionary()
 
     # -- iteration ------------------------------------------------------------
 
@@ -544,11 +565,19 @@ class CollectivePlan:
         Algorithms 5-6: the initial redistribution ``s`` completes before the
         inter-region phase ``g`` starts, while the fully-local phase ``l``
         overlaps both; the final redistribution ``r`` runs after ``g``.
+
+        Memoized per live model object (equal frozen-dataclass models share
+        the entry); models that cannot be weakly referenced or hashed are
+        computed uncached.
         """
-        key = repr(model)
         memo = self._modeled_time_memo
-        if key in memo:
-            return memo[key]
+        try:
+            cached = memo.get(model)
+        except TypeError:
+            memo = None
+            cached = None
+        if cached is not None:
+            return cached
         if self.variant in (Variant.POINT_TO_POINT, Variant.STANDARD):
             time = self._phase_time(model, Phase.DIRECT)
         else:
@@ -557,7 +586,11 @@ class CollectivePlan:
             t_g = self._phase_time(model, Phase.GLOBAL)
             t_r = self._phase_time(model, Phase.FINAL_REDIST)
             time = max(t_l, t_s + t_g) + t_r
-        memo[key] = time
+        if memo is not None:
+            try:
+                memo[model] = time
+            except TypeError:
+                pass
         return time
 
     def setup_costs(self) -> Tuple[int, int]:

@@ -14,9 +14,10 @@ Two ablations beyond the paper's figures:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.collectives.aggregation import BalanceStrategy
+from repro.collectives.autotune import DecisionTrace, simulate_modeled_auto
 from repro.collectives.plan import Variant
 from repro.collectives.planner import plan_partial
 from repro.collectives.selection import select_variant
@@ -26,12 +27,21 @@ from repro.utils.formatting import format_table
 
 @dataclass
 class SelectionAblationResult:
-    """Per-level variant choices and aggregate times of each policy."""
+    """Per-level variant choices and aggregate times of each policy.
+
+    ``auto_choice`` is the per-level pick of the *online* selector
+    (:mod:`repro.collectives.autotune`) replayed on the modeled times —
+    fed exact modeled measurements it should land on the oracle, which
+    the property suite pins — and :attr:`decision_trace` records the
+    seed/probe/commit path that led there.
+    """
 
     levels: List[int]
     model_choice: List[str]
     oracle_choice: List[str]
+    auto_choice: List[str] = field(default_factory=list)
     policy_times: Dict[str, float] = field(default_factory=dict)
+    decision_trace: Optional[DecisionTrace] = None
 
     @property
     def agreement(self) -> float:
@@ -43,10 +53,12 @@ class SelectionAblationResult:
 
     def to_table(self) -> str:
         """Render choices per level plus aggregate policy times."""
-        rows = [(level, model, oracle)
-                for level, model, oracle in zip(self.levels, self.model_choice,
-                                                self.oracle_choice)]
-        table = format_table(["level", "model choice", "oracle choice"], rows,
+        rows = [(level, model, online, oracle)
+                for level, model, online, oracle
+                in zip(self.levels, self.model_choice, self.auto_choice,
+                       self.oracle_choice)]
+        table = format_table(["level", "model choice", "online choice",
+                              "oracle choice"], rows,
                              title="Ablation: dynamic variant selection")
         lines = [table, "", "total modeled time per policy (seconds):"]
         for policy, time in sorted(self.policy_times.items()):
@@ -58,7 +70,14 @@ class SelectionAblationResult:
 def run_selection_ablation(context: ExperimentContext | None = None, *,
                            config: ExperimentConfig | None = None,
                            expected_iterations: int = 1000) -> SelectionAblationResult:
-    """Compare model-driven selection with the oracle and fixed policies."""
+    """Compare model-driven selection with the oracle and fixed policies.
+
+    Five fixed/static policies plus ``online_auto``: the online selector
+    of :mod:`repro.collectives.autotune` replayed deterministically on the
+    modeled per-level times (steady-state cost under its converged
+    choices, probe overhead excluded — the amortised regime the paper's
+    crossover analysis targets).
+    """
     if context is None:
         context = ExperimentContext.build(config or ExperimentConfig.from_environment())
     profiles = context.profiles
@@ -87,10 +106,16 @@ def run_selection_ablation(context: ExperimentContext | None = None, *,
         policy_times["always_full"] += profile.times[Variant.FULL]
         policy_times["model_selection"] += profile.times[selection.variant]
         policy_times["oracle"] += profile.times[oracle]
+    sim = simulate_modeled_auto([p.times for p in profiles],
+                                candidates=candidates)
+    policy_times["online_auto"] = sim.steady_per_iteration
+    auto_choice = [sim.choices[index].value for index in range(len(profiles))]
     return SelectionAblationResult(levels=[p.level for p in profiles],
                                    model_choice=model_choice,
                                    oracle_choice=oracle_choice,
-                                   policy_times=policy_times)
+                                   auto_choice=auto_choice,
+                                   policy_times=policy_times,
+                                   decision_trace=sim.trace)
 
 
 @dataclass

@@ -12,10 +12,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.collectives.autotune import DecisionTrace, simulate_modeled_auto
 from repro.collectives.plan import CollectivePlan, Variant
 from repro.experiments.config import ExperimentConfig, ExperimentContext
 from repro.pattern.statistics import PatternStatistics
@@ -24,7 +25,13 @@ from repro.utils.formatting import format_series
 
 @dataclass
 class PerLevelResult:
-    """All per-level series of Figures 8-11."""
+    """All per-level series of Figures 8-11.
+
+    ``times`` includes the ``"auto_selected"`` series — the per-level time
+    of whatever variant the online selector converged to, replayed
+    deterministically on the modeled times — with the selector's
+    :attr:`decision_trace` justifying each level's choice.
+    """
 
     levels: List[int]
     rows_per_level: List[int]
@@ -32,6 +39,7 @@ class PerLevelResult:
     global_messages: Dict[str, List[int]] = field(default_factory=dict)
     global_bytes: Dict[str, List[int]] = field(default_factory=dict)
     times: Dict[str, List[float]] = field(default_factory=dict)
+    decision_trace: Optional[DecisionTrace] = None
 
     # -- derived headline numbers -------------------------------------------------
 
@@ -211,4 +219,13 @@ def run_per_level(context: ExperimentContext | None = None, *,
         "partially_optimized_neighbor": [p.times[Variant.PARTIAL] for p in profiles],
         "fully_optimized_neighbor": [p.times[Variant.FULL] for p in profiles],
     }
+    # Figure 11's future-work overlay: the per-level variant the online
+    # selector converges to when fed the same modeled times, one entry per
+    # level like every other series, with the full decision record attached.
+    sim = simulate_modeled_auto([p.times for p in profiles])
+    result.times["auto_selected"] = [
+        float(profile.times[sim.choices[index]])
+        for index, profile in enumerate(profiles)
+    ]
+    result.decision_trace = sim.trace
     return result

@@ -48,6 +48,7 @@ happens lazily, inside the engine's methods, for the same reason).
 from __future__ import annotations
 
 import os
+import time
 import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
@@ -147,6 +148,12 @@ class ExchangeEngine:
     ``retry_backoff`` shape the retry schedule, and ``fault_plan`` injects
     deterministic chaos (:mod:`repro.simmpi.faults`, ``REPRO_FAULTS``).
     Every supervision decision is recorded in :attr:`events`.
+
+    ``clock`` supplies the timestamps of the per-round timing hook
+    (:meth:`set_run_observer`, used by the online autotuner); the default is
+    ``time.perf_counter``, and injecting a deterministic clock makes timed
+    runs bit-reproducible.  The clock is only consulted while an observer
+    is attached — the plain data path never reads it.
     """
 
     def __init__(self, n_ranks: int, *, profiler: TrafficProfiler | None = None,
@@ -154,7 +161,8 @@ class ExchangeEngine:
                  kernels=None, on_failure: str | None = None,
                  timeout: float | None = None, max_retries: int = 2,
                  retry_backoff: float = 0.05,
-                 fault_plan: "FaultPlan | None" = None):
+                 fault_plan: "FaultPlan | None" = None,
+                 clock=None):
         if n_ranks <= 0:
             raise CommunicationError("an exchange engine needs at least one rank")
         if runtime is None:
@@ -181,6 +189,8 @@ class ExchangeEngine:
         self._pool_failed = False
         self._events: List["RecoveryEvent"] = []
         self._finalizer = None
+        self._clock = clock if clock is not None else time.perf_counter
+        self._run_observer = None
         from repro.collectives.kernels import select_backend
 
         self._kernels = select_backend(kernels)
@@ -246,6 +256,7 @@ class ExchangeEngine:
         if self._pool is not None:
             self._pool.close()
         self._programs.clear()
+        self._run_observer = None
 
     def __enter__(self) -> "ExchangeEngine":
         return self
@@ -303,6 +314,17 @@ class ExchangeEngine:
 
     # -- per-iteration execution ----------------------------------------------
 
+    def set_run_observer(self, observer) -> None:
+        """Attach (or with ``None`` detach) the per-round timing hook.
+
+        While attached, every :meth:`run` is bracketed by two readings of
+        the engine's clock and ``observer(handle, seconds)`` is called with
+        the elapsed wall time of the round — retries, fallbacks, and serial
+        completion included, which is exactly what an online autotuner must
+        see.  One observer per engine; setting a new one replaces the old.
+        """
+        self._run_observer = observer
+
     def run(self, handle: int, values: WorldValues) -> List[np.ndarray]:
         """Execute one full exchange round for every rank (start + wait).
 
@@ -313,6 +335,16 @@ class ExchangeEngine:
         the same values ``PersistentNeighborCollective.wait`` hands each rank
         on the envelope-routed path.
         """
+        observer = self._run_observer
+        if observer is None:
+            return self._execute(handle, values)
+        start = self._clock()
+        result = self._execute(handle, values)
+        observer(handle, self._clock() - start)
+        return result
+
+    def _execute(self, handle: int, values: WorldValues) -> List[np.ndarray]:
+        """One exchange round, untimed (the body :meth:`run` wraps)."""
         self._check_open()
         state = self._program(handle)
         world = state.world

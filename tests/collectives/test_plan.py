@@ -11,6 +11,7 @@ from repro.collectives.plan import (
 )
 from repro.collectives.planner import plan_full, plan_partial, plan_standard
 from repro.pattern.builders import pattern_from_edges
+from repro.perfmodel.base import CostModel
 from repro.perfmodel.postal import PostalModel
 from repro.topology.presets import paper_mapping
 from repro.utils.errors import PlanError
@@ -156,3 +157,75 @@ class TestModeledTime:
         n_messages, slot_bytes = plan.setup_costs()
         assert 0 < n_messages <= plan.n_messages
         assert slot_bytes > 0
+
+
+class _OpaqueModel(CostModel):
+    """Behaviour lives in an attribute the repr does not mention — the shape
+    that used to poison the (repr-keyed) modeled-time memo."""
+
+    def __init__(self, scale: float):
+        self.scale = scale
+
+    def message_time(self, nbytes, locality):
+        return self.scale * (1.0e-6 + nbytes * 1.0e-9)
+
+    def __repr__(self):
+        return "_OpaqueModel()"
+
+
+class _UnhashableModel(_OpaqueModel):
+    __hash__ = None  # dict-unusable: modeled_time must compute uncached
+
+
+class TestModeledTimeMemo:
+    """Regression: the memo is keyed by the live model object, never by a
+    lossy repr, so re-measuring with a different model cannot be served
+    another model's cached time."""
+
+    def test_models_with_identical_reprs_do_not_share_entries(
+            self, cross_region_pattern, mapping):
+        plan = plan_standard(cross_region_pattern, mapping)
+        slow = _OpaqueModel(scale=1000.0)
+        fast = _OpaqueModel(scale=1.0)
+        assert repr(slow) == repr(fast)
+        t_slow = plan.modeled_time(slow)
+        t_fast = plan.modeled_time(fast)
+        assert t_fast > 0.0
+        assert t_slow == pytest.approx(1000.0 * t_fast)
+
+    def test_same_object_hits_the_cache(self, cross_region_pattern, mapping):
+        plan = plan_standard(cross_region_pattern, mapping)
+        model = _OpaqueModel(scale=2.0)
+        first = plan.modeled_time(model)
+        assert plan.modeled_time(model) == first
+        fresh = plan_standard(cross_region_pattern, mapping)
+        assert fresh.modeled_time(_OpaqueModel(scale=2.0)) == first
+
+    def test_unhashable_model_computes_uncached(self, cross_region_pattern,
+                                                mapping):
+        plan = plan_standard(cross_region_pattern, mapping)
+        reference = plan.modeled_time(_OpaqueModel(scale=3.0))
+        model = _UnhashableModel(scale=3.0)
+        assert plan.modeled_time(model) == reference
+        model.scale = 6.0  # no cache entry to go stale
+        assert plan.modeled_time(model) == pytest.approx(2.0 * reference)
+
+    def test_dead_models_do_not_pin_entries(self, cross_region_pattern,
+                                            mapping):
+        plan = plan_standard(cross_region_pattern, mapping)
+        for scale in (1.0, 2.0, 3.0):
+            plan.modeled_time(_OpaqueModel(scale=scale))  # keys die right away
+        assert len(plan._modeled_time_memo) == 0
+
+    def test_pickle_round_trip_recomputes_correctly(self, cross_region_pattern,
+                                                    mapping):
+        import pickle
+
+        plan = plan_standard(cross_region_pattern, mapping)
+        model = _OpaqueModel(scale=5.0)
+        before = plan.modeled_time(model)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert len(clone._modeled_time_memo) == 0  # memos never travel
+        assert clone.modeled_time(model) == before
+        assert clone.modeled_time(_OpaqueModel(scale=10.0)) == \
+            pytest.approx(2.0 * before)

@@ -278,3 +278,67 @@ class TestSolvePhaseDrivers:
         weak = run_weak_scaling(smoke_config, process_counts=(16,),
                                 solve_phase=True)
         assert all(t > 0.0 for t in weak.times["fully_optimized_neighbor"])
+
+
+class TestAutoSeries:
+    """The drivers' online-autotuned ("auto") series (ISSUE 9)."""
+
+    def test_crossover_auto_series_is_opt_in(self, smoke_context):
+        result = run_crossover(smoke_context)
+        assert "auto" not in result.totals
+        assert result.decision_trace is None
+
+    def test_crossover_auto_series_and_trace(self, smoke_context):
+        result = run_crossover(smoke_context, variants=("auto",))
+        assert "auto" in result.totals
+        assert len(result.totals["auto"]) == len(result.iteration_counts)
+        assert result.decision_trace is not None
+        result.decision_trace.validate()
+        # Steady state is the oracle: never worse than any fixed variant.
+        for variant in (Variant.STANDARD, Variant.PARTIAL, Variant.FULL):
+            assert result.per_iteration["auto"] <= \
+                result.per_iteration[variant] + 1e-15
+        # Registering every candidate costs standard + partial init (the
+        # partial setup already wraps the full one).
+        assert result.init_costs["auto"] == pytest.approx(
+            result.init_costs[Variant.STANDARD]
+            + result.init_costs[Variant.PARTIAL])
+        assert "auto" in result.crossovers
+        assert "auto" in result.to_table()
+
+    def test_crossover_auto_totals_include_probe_overhead(self, smoke_context):
+        result = run_crossover(smoke_context, variants=("auto",))
+        for n, total in zip(result.iteration_counts, result.totals["auto"]):
+            floor = result.init_costs["auto"] + n * result.per_iteration["auto"]
+            assert total >= floor - 1e-15
+
+    def test_crossover_auto_rejects_solve_phase(self, smoke_context):
+        from repro.utils.errors import ValidationError
+        with pytest.raises(ValidationError, match="per-level"):
+            run_crossover(smoke_context, variants=("auto",), solve_phase=True)
+        with pytest.raises(ValueError):
+            run_crossover(smoke_context, variants=("warp_drive",))
+
+    def test_per_level_auto_selected_is_the_per_level_best(self, smoke_context):
+        result = run_per_level(smoke_context)
+        auto = result.times["auto_selected"]
+        assert len(auto) == len(result.levels)
+        candidates = ("unoptimized_neighbor", "partially_optimized_neighbor",
+                      "fully_optimized_neighbor")
+        for index in range(len(result.levels)):
+            best = min(result.times[series][index] for series in candidates)
+            assert auto[index] == pytest.approx(best)
+        assert result.decision_trace is not None
+        result.decision_trace.validate()
+        assert sorted(result.decision_trace.levels()) == sorted(result.levels)
+
+    def test_selection_ablation_online_auto_matches_oracle(self, smoke_context):
+        result = run_selection_ablation(smoke_context)
+        # Fed exact modeled measurements the online selector lands on the
+        # oracle's cost (choices may differ only on exact ties).
+        assert result.policy_times["online_auto"] == \
+            pytest.approx(result.policy_times["oracle"])
+        assert len(result.auto_choice) == len(result.levels)
+        assert result.decision_trace is not None
+        result.decision_trace.validate()
+        assert "online choice" in result.to_table()
